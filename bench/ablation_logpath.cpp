@@ -1,0 +1,51 @@
+// Ablation: PASSv2's log + Waldo write path vs the PASSv1 design of writing
+// provenance directly into an indexed database on the critical path (§5.6:
+// "PASSv1 wrote provenance directly into databases ... neither flexible nor
+// scalable, so PASSv2 writes all provenance records to a log").
+//
+// The v1 path is modelled by charging each record an indexed-update disk
+// access (seek into the database region) instead of a sequential log
+// append.
+
+#include "src/util/logging.h"
+#include <cstdio>
+
+#include "src/workloads/machine.h"
+#include "src/workloads/workloads.h"
+
+int main() {
+  using namespace pass;
+
+  // PASSv2: run Postmark normally, measure elapsed.
+  workloads::MachineOptions options;
+  options.with_pass = true;
+  workloads::Machine v2(options);
+  auto report = workloads::RunPostmark(&v2);
+  PASS_CHECK(v2.waldo()->Drain().ok());
+  uint64_t records = v2.db()->stats().records + v2.db()->stats().edges;
+
+  // PASSv1 model: same workload, but every record pays a random-position
+  // database update on the same disk (seek + small write).
+  workloads::Machine v1(options);
+  auto v1_report = workloads::RunPostmark(&v1);
+  sim::Disk& disk = v1.disk();
+  Rng rng(3);
+  uint64_t db_zone = 6ull << 30;
+  for (uint64_t i = 0; i < records; ++i) {
+    disk.Write(db_zone + rng.NextBelow(1ull << 30), 256);
+  }
+  double v1_elapsed = v1.elapsed_seconds();
+
+  std::printf("Ablation: provenance write path (Postmark, %llu records)\n\n",
+              (unsigned long long)records);
+  std::printf("%-34s %10.1f s\n", "PASSv2 (WAP log + Waldo, async)",
+              report.elapsed_seconds);
+  std::printf("%-34s %10.1f s\n", "PASSv1 model (direct indexed DB)",
+              v1_elapsed);
+  std::printf("\nslowdown of the v1 path: %.2fx\n",
+              v1_elapsed / report.elapsed_seconds);
+  std::printf(
+      "\nSequential WAP log appends amortize into the workload; per-record\n"
+      "indexed updates seek — the reason PASSv2 moved indexing to Waldo.\n");
+  return 0;
+}

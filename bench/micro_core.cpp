@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark): analyzer throughput, record codec,
+// MD5, log framing, KV store, and PQL query latency.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/analyzer.h"
+#include "src/lasagna/log_format.h"
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+#include "src/util/md5.h"
+#include "src/util/rng.h"
+#include "src/waldo/kvstore.h"
+#include "src/waldo/provdb.h"
+
+namespace {
+
+using namespace pass;
+
+void BM_AnalyzerAddDependency(benchmark::State& state) {
+  core::Analyzer analyzer;
+  Rng rng(1);
+  auto emit = [](const core::ObjectRef&, const core::Record&) {};
+  for (auto _ : state) {
+    analyzer.AddDependency(1 + rng.NextBelow(64), 1000 + rng.NextBelow(64),
+                           emit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzerAddDependency);
+
+void BM_RecordEncodeDecode(benchmark::State& state) {
+  core::Record record = core::Record::Input(core::ObjectRef{42, 7});
+  for (auto _ : state) {
+    std::string buf;
+    core::EncodeRecord(&buf, record);
+    Decoder in(buf);
+    auto decoded = core::DecodeRecord(&in);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordEncodeDecode);
+
+void BM_Md5Throughput(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(4096)->Arg(65536);
+
+void BM_LogFraming(benchmark::State& state) {
+  lasagna::LogEntry entry{core::ObjectRef{7, 1},
+                          core::Record::Name("/some/path/to/file")};
+  for (auto _ : state) {
+    std::string buf;
+    lasagna::EncodeLogEntry(&buf, entry);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogFraming);
+
+void BM_KvStorePut(benchmark::State& state) {
+  waldo::KvStore store;
+  Rng rng(2);
+  for (auto _ : state) {
+    store.Put("key/" + std::to_string(rng.NextBelow(100000)), "value-bytes");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_PqlAncestryQuery(benchmark::State& state) {
+  // A chain of `range` object versions; query the full closure.
+  waldo::ProvDb db;
+  int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    db.Insert({{static_cast<core::PnodeId>(i + 1), 0},
+               core::Record::Type("FILE")});
+    db.Insert({{static_cast<core::PnodeId>(i + 1), 0},
+               core::Record::Name("f" + std::to_string(i))});
+    if (i > 0) {
+      db.Insert({{static_cast<core::PnodeId>(i + 1), 0},
+                 core::Record::Input({static_cast<core::PnodeId>(i), 0})});
+    }
+  }
+  pql::ProvDbSource source(&db);
+  pql::Engine engine(&source);
+  std::string query =
+      "select a from Provenance.file as f f.input* as a "
+      "where f.name = \"f" +
+      std::to_string(n - 1) + "\"";
+  for (auto _ : state) {
+    auto result = engine.Run(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PqlAncestryQuery)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

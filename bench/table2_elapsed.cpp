@@ -1,0 +1,92 @@
+// Table 2 reproduction: elapsed-time overheads for the five workloads,
+// ext3 vs PASSv2 (local) and NFS vs PA-NFS (remote). Absolute seconds are
+// simulated; the reproduction target is the overhead *shape*.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/workloads/machine.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+using pass::nfs::NfsClientFs;
+using pass::nfs::NfsServer;
+using pass::workloads::Machine;
+using pass::workloads::MachineOptions;
+using pass::workloads::RunWorkload;
+using pass::workloads::WorkloadReport;
+
+double RunLocal(const std::string& name, bool with_pass) {
+  MachineOptions options;
+  options.with_pass = with_pass;
+  Machine machine(options);
+  WorkloadReport report = RunWorkload(name, &machine);
+  if (with_pass) {
+    (void)machine.waldo()->Drain();  // off the timed path, but keep it honest
+  }
+  return report.elapsed_seconds;
+}
+
+double RunRemote(const std::string& name, bool with_pass) {
+  // Server machine owns the disk; client machine mounts it as "/" so the
+  // unmodified workloads run against the wire.
+  MachineOptions server_options;
+  server_options.with_pass = with_pass;
+  server_options.shard = 1;
+  Machine server(server_options);
+  pass::sim::Network network(&server.env().clock());
+  NfsServer nfs_server(&server.env(),
+                       with_pass
+                           ? static_cast<pass::os::FileSystem*>(server.volume())
+                           : static_cast<pass::os::FileSystem*>(
+                                 &server.basefs()),
+                       "nfs");
+  NfsClientFs client_fs(&server.env(), &network, &nfs_server);
+
+  MachineOptions client_options;
+  client_options.with_pass = with_pass;
+  client_options.shard = 2;
+  client_options.shared_env = &server.env();
+  client_options.root_fs = &client_fs;
+  Machine client(client_options);
+  WorkloadReport report = RunWorkload(name, &client);
+  return report.elapsed_seconds;
+}
+
+void PrintRow(const char* label, double base, double with_pass) {
+  double overhead = base > 0 ? (with_pass - base) / base * 100.0 : 0;
+  std::printf("%-20s %10.1f %10.1f %9.1f%%\n", label, base, with_pass,
+              overhead);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, const char*>> workloads = {
+      {"compile", "Linux Compile"}, {"postmark", "Postmark"},
+      {"mercurial", "Mercurial Activity"}, {"blast", "Blast"},
+      {"kepler", "PA-Kepler"}};
+
+  std::printf("Table 2 (left): elapsed time, local file system (seconds)\n");
+  std::printf("%-20s %10s %10s %10s\n", "Benchmark", "Ext3", "PASSv2",
+              "Overhead");
+  for (const auto& [key, label] : workloads) {
+    PrintRow(label, RunLocal(key, false), RunLocal(key, true));
+  }
+
+  std::printf("\nTable 2 (right): elapsed time, network storage (seconds)\n");
+  std::printf("%-20s %10s %10s %10s\n", "Benchmark", "NFS", "PA-NFS",
+              "Overhead");
+  for (const auto& [key, label] : workloads) {
+    PrintRow(label, RunRemote(key, false), RunRemote(key, true));
+  }
+  std::printf(
+      "\nPaper (Table 2): overheads 0.7%%-23.1%% local, 1.9%%-16.8%% NFS;\n"
+      "highest local overhead: Mercurial (metadata seeks); lowest: Blast "
+      "(CPU-bound).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 3 reproduction: space overheads — ext3 data vs provenance database
+// vs provenance + indexes, per workload, after Waldo drains the logs.
+
+#include "src/util/logging.h"
+#include <cstdio>
+
+#include "src/workloads/machine.h"
+#include "src/workloads/workloads.h"
+
+int main() {
+  using pass::workloads::Machine;
+  using pass::workloads::MachineOptions;
+  using pass::workloads::RunWorkload;
+  using pass::workloads::WorkloadReport;
+
+  std::printf("Table 3: space overheads (MB; %% of ext3 data)\n");
+  std::printf("%-20s %10s %16s %22s\n", "Benchmark", "Ext3",
+              "Provenance", "Provenance+Indexes");
+  const std::pair<const char*, const char*> workloads[] = {
+      {"compile", "Linux Compile"}, {"postmark", "Postmark"},
+      {"mercurial", "Mercurial Activity"}, {"blast", "Blast"},
+      {"kepler", "PA-Kepler"}};
+  for (const auto& [key, label] : workloads) {
+    MachineOptions options;
+    options.with_pass = true;
+    Machine machine(options);
+    WorkloadReport report = RunWorkload(key, &machine);
+    PASS_CHECK(machine.waldo()->Drain().ok());
+    auto stats = machine.db()->stats();
+    double data_mb = static_cast<double>(report.data_bytes) / (1 << 20);
+    double prov_mb = static_cast<double>(stats.db_bytes) / (1 << 20);
+    double index_mb = static_cast<double>(stats.index_bytes) / (1 << 20);
+    std::printf("%-20s %10.2f %9.2f (%4.1f%%) %14.2f (%5.1f%%)\n", label,
+                data_mb, prov_mb, prov_mb / data_mb * 100.0,
+                prov_mb + index_mb, (prov_mb + index_mb) / data_mb * 100.0);
+  }
+  std::printf(
+      "\nPaper (Table 3): provenance <7%% everywhere; with indexes 0.1%%-"
+      "18.4%%;\nLinux compile highest, Postmark lowest.\n");
+  return 0;
+}

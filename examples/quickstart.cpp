@@ -1,0 +1,64 @@
+// Quickstart: boot a PASSv2 machine, do ordinary file work, and query the
+// provenance that was collected invisibly (§5.1: "From a user perspective,
+// PASSv2 is an operating system that collects provenance invisibly").
+
+#include <cstdio>
+
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+#include "src/util/logging.h"
+#include "src/workloads/machine.h"
+
+int main() {
+  // A machine with the full Figure-2 stack: kernel + interceptor/observer +
+  // analyzer + distributor + Lasagna + Waldo + database.
+  pass::workloads::MachineOptions options;
+  options.with_pass = true;
+  pass::workloads::Machine machine(options);
+
+  // Ordinary, provenance-unaware programs at work.
+  pass::os::Pid grep = machine.Spawn("grep");
+  for (const char* dir : {"/etc", "/tmp", "/srv"}) {
+    PASS_CHECK(machine.kernel().Mkdir(grep, dir).ok());
+  }
+  PASS_CHECK(machine.kernel()
+                 .WriteFile(grep, "/etc/passwd", "root:x:0:0\nalice:x:1:1\n")
+                 .ok());
+  auto users = machine.kernel().ReadFile(grep, "/etc/passwd");
+  PASS_CHECK(users.ok());
+  PASS_CHECK(
+      machine.kernel().WriteFile(grep, "/tmp/admins.txt", users->substr(0, 11))
+          .ok());
+
+  // A second process consumes the first one's output.
+  pass::os::Pid report = machine.Spawn("report");
+  auto admins = machine.kernel().ReadFile(report, "/tmp/admins.txt");
+  PASS_CHECK(admins.ok());
+  PASS_CHECK(machine.kernel()
+                 .WriteFile(report, "/srv/report.txt", "admins: " + *admins)
+                 .ok());
+
+  // Waldo moves the provenance log into the queryable database.
+  PASS_CHECK(machine.waldo()->Drain().ok());
+
+  // Ask PQL (§5.7) for the complete ancestry of the report.
+  pass::pql::ProvDbSource source(machine.db());
+  pass::pql::Engine engine(&source);
+  auto result = engine.Run(
+      "select Ancestor\n"
+      "from Provenance.file as Report\n"
+      "     Report.input* as Ancestor\n"
+      "where Report.name = \"/srv/report.txt\"");
+  PASS_CHECK(result.ok());
+  std::printf("Ancestry of /srv/report.txt:\n%s",
+              result->ToTable(&source).c_str());
+
+  // And the reverse direction: what descends from /etc/passwd?
+  auto descendants = engine.Run(
+      "select d.name from Provenance.file as f f.~input* as d\n"
+      "where f.name = \"/etc/passwd\"");
+  PASS_CHECK(descendants.ok());
+  std::printf("\nDescendants of /etc/passwd:\n%s",
+              descendants->ToTable(&source).c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Use case §3.2: attribution and malware tracking with PA-links. A
+// professor downloads figures, moves them around, clears her browser
+// history — and can still attribute every file. Then the malware variant:
+// trace an infection back to the website it came from.
+
+#include <cstdio>
+
+#include "src/browser/browser.h"
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+#include "src/util/logging.h"
+#include "src/workloads/machine.h"
+
+using namespace pass;
+
+int main() {
+  workloads::MachineOptions options;
+  options.with_pass = true;
+  workloads::Machine machine(options);
+
+  browser::SimWeb web;
+  web.AddPage("http://physics.example/", "physics dept",
+              {"http://physics.example/figures"});
+  web.AddPage("http://physics.example/figures", "figure index");
+  web.AddDownload("http://physics.example/energy.gif", "GIF:energy-graph");
+  web.AddPage("http://mirror.example/codecs", "free codecs!");
+  web.AddDownload("http://mirror.example/codec.bin", "CODEC+MALWARE");
+
+  os::Pid pid = machine.Spawn("links");
+  browser::Browser links(&machine.kernel(), pid, machine.Lib(pid), &web);
+  PASS_CHECK(links.OpenSession().ok());
+  PASS_CHECK(links.Visit("http://physics.example/").ok());
+  PASS_CHECK(links.Visit("http://physics.example/figures").ok());
+  PASS_CHECK(machine.kernel().Mkdir(pid, "/downloads").ok());
+  PASS_CHECK(
+      links.Download("http://physics.example/energy.gif",
+                     "/downloads/energy.gif")
+          .ok());
+
+  // The professor moves the figure into her talk and clears the browser.
+  PASS_CHECK(machine.kernel().Mkdir(pid, "/talk").ok());
+  PASS_CHECK(machine.kernel()
+                 .Rename(pid, "/downloads/energy.gif", "/talk/fig1.gif")
+                 .ok());
+  links.ClearHistory();
+
+  // Meanwhile: the codec download + infection.
+  PASS_CHECK(links.Visit("http://mirror.example/codecs").ok());
+  PASS_CHECK(machine.kernel().Mkdir(pid, "/bin").ok());
+  PASS_CHECK(
+      links.Download("http://mirror.example/codec.bin", "/bin/codec").ok());
+  os::Pid codec = machine.Spawn("codec");
+  PASS_CHECK(machine.kernel().Exec(codec, "/bin/codec", {"codec"}).ok());
+  auto payload = machine.kernel().ReadFile(codec, "/bin/codec");
+  PASS_CHECK(payload.ok());
+  PASS_CHECK(
+      machine.kernel().WriteFile(codec, "/bin/infected-tool", *payload).ok());
+
+  PASS_CHECK(machine.waldo()->Drain().ok());
+  pql::ProvDbSource source(machine.db());
+  pql::Engine engine(&source);
+
+  // Attribution: where did fig1.gif come from? The browser has forgotten;
+  // PASSv2 has not, and the provenance followed the rename.
+  auto attribution = engine.Run(
+      "select f.file_url, f.current_url from Provenance.file as f\n"
+      "where f.name = \"/talk/fig1.gif\"");
+  PASS_CHECK(attribution.ok());
+  std::printf("attribution for /talk/fig1.gif (history was cleared!):\n%s",
+              attribution->ToTable(&source).c_str());
+
+  // Malware: every file descending from anything fetched from the mirror.
+  auto spread = engine.Run(
+      "select victim.name\n"
+      "from Provenance.file as dl\n"
+      "     dl.~input* as victim\n"
+      "where dl.file_url like \"http://mirror.example/*\"\n"
+      "  and victim.type = \"FILE\"");
+  PASS_CHECK(spread.ok());
+  std::printf("\nfiles tainted by mirror.example downloads:\n%s",
+              spread->ToTable(&source).c_str());
+
+  // And the browsing context that led there.
+  auto session = engine.Run(
+      "select s.visited_url from Provenance.session as s");
+  PASS_CHECK(session.ok());
+  std::printf("\nsession trail preserved by PASSv2:\n%s",
+              session->ToTable(&source).c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "src/core/distributor.h"
+
+namespace pass::core {
+
+void Distributor::Cache(const ObjectRef& subject, const Record& record) {
+  Entry& entry = cache_[subject.pnode];
+  entry.records.emplace_back(subject.version, record);
+  entry.last_version = subject.version;
+  ++stats_.records_cached;
+}
+
+void Distributor::DrainClosure(PnodeId root, Bundle* bundle) {
+  std::vector<PnodeId> stack{root};
+  std::unordered_set<PnodeId> visited;
+  while (!stack.empty()) {
+    PnodeId pnode = stack.back();
+    stack.pop_back();
+    if (!visited.insert(pnode).second) {
+      continue;
+    }
+    auto it = cache_.find(pnode);
+    if (it == cache_.end()) {
+      continue;
+    }
+    // Group the object's records by version into bundle entries, preserving
+    // record order within the object.
+    Entry entry = std::move(it->second);
+    cache_.erase(it);
+    ++stats_.objects_flushed;
+    BundleEntry* current = nullptr;
+    Version current_version = 0;
+    for (auto& [version, record] : entry.records) {
+      if (current == nullptr || version != current_version) {
+        bundle->push_back(BundleEntry{ObjectRef{pnode, version}, {}});
+        current = &bundle->back();
+        current_version = version;
+      }
+      // Chase cached ancestry: ancestors of this object must flush too.
+      if (record.attr == Attr::kInput) {
+        if (const auto* ref = std::get_if<ObjectRef>(&record.value)) {
+          stack.push_back(ref->pnode);
+        }
+      }
+      current->records.push_back(std::move(record));
+      ++stats_.records_flushed;
+    }
+  }
+}
+
+void Distributor::Discard(PnodeId pnode) {
+  auto it = cache_.find(pnode);
+  if (it == cache_.end()) {
+    return;
+  }
+  stats_.records_discarded += it->second.records.size();
+  cache_.erase(it);
+}
+
+}  // namespace pass::core

@@ -1,0 +1,62 @@
+#ifndef SRC_CORE_DISTRIBUTOR_H_
+#define SRC_CORE_DISTRIBUTOR_H_
+
+// The distributor (§5.5): caches provenance records for objects that are
+// not persistent from the kernel's perspective — processes, pipes, files on
+// non-PASS volumes, and application objects from pass_mkobj — until they
+// become part of the ancestry of a persistent object (or are explicitly
+// flushed via pass_sync), at which point the cached records are drained
+// into the bundle being written to a PASS volume.
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/provenance.h"
+
+namespace pass::core {
+
+struct DistributorStats {
+  uint64_t records_cached = 0;
+  uint64_t records_flushed = 0;
+  uint64_t objects_flushed = 0;
+  uint64_t records_discarded = 0;  // dropped with never-persistent objects
+};
+
+class Distributor {
+ public:
+  // Cache a record describing a non-persistent object.
+  void Cache(const ObjectRef& subject, const Record& record);
+
+  // Drain the cached records for `root` and for every non-persistent object
+  // reachable from it through cached INPUT edges (the ancestry closure that
+  // must accompany the persistent write). Appends entries to `bundle`.
+  // Objects drained are remembered as "assigned" so their future records
+  // flush directly.
+  void DrainClosure(PnodeId root, Bundle* bundle);
+
+  // Records currently cached for an object (empty when already drained).
+  bool HasCached(PnodeId pnode) const { return cache_.count(pnode) > 0; }
+  size_t CachedObjectCount() const { return cache_.size(); }
+
+  // Discard cached provenance for an object that exited / was dropped
+  // without ever reaching persistence (correct per §5.2: transient objects
+  // with no persistent descendants lose their provenance).
+  void Discard(PnodeId pnode);
+
+  const DistributorStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Version last_version = 0;
+    std::vector<std::pair<Version, Record>> records;
+  };
+
+  std::unordered_map<PnodeId, Entry> cache_;
+  DistributorStats stats_;
+};
+
+}  // namespace pass::core
+
+#endif  // SRC_CORE_DISTRIBUTOR_H_

@@ -1,0 +1,68 @@
+#ifndef SRC_CORE_OBJECT_H_
+#define SRC_CORE_OBJECT_H_
+
+// In-kernel object identity for the PASSv2 core: pnode allocation and the
+// per-object state shared by the observer, analyzer, and distributor.
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/provenance.h"
+#include "src/os/filesystem.h"
+#include "src/os/vnode.h"
+
+namespace pass::core {
+
+// What kind of thing a provenance object is. Everything that can appear in
+// an ancestry edge is an object (§5.5: processes, pipes, non-PASS files,
+// and application objects are all first-class but non-persistent).
+enum class ObjectKind : uint8_t {
+  kFile,         // file on a PASS (Lasagna) volume — persistent
+  kForeignFile,  // file on a non-provenance volume
+  kProcess,
+  kPipe,
+  kPhantom,      // created via pass_mkobj (session, data set, function...)
+};
+
+std::string_view ObjectKindName(ObjectKind kind);
+
+// Pnode numbers are never recycled. The top 16 bits identify the allocator
+// shard (one per machine / PASS volume family) so pnodes from different
+// machines in a PA-NFS deployment never collide.
+class PnodeAllocator {
+ public:
+  explicit PnodeAllocator(uint16_t shard = 0)
+      : next_((static_cast<PnodeId>(shard) << 48) + 1) {}
+
+  PnodeId Allocate() { return next_++; }
+  PnodeId peek_next() const { return next_; }
+
+ private:
+  PnodeId next_;
+};
+
+// Identity + storage binding of one object (graph state such as versions
+// and dependency sets lives in the Analyzer; cached records live in the
+// Distributor).
+struct ObjState {
+  PnodeId pnode = kInvalidPnode;
+  ObjectKind kind = ObjectKind::kPhantom;
+  bool persistent = false;
+  os::FileSystem* volume = nullptr;  // for persistent objects
+  os::VnodeRef vnode;                // stable vnode (persistent / phantom)
+  std::string name;                  // path or descriptive name
+  bool dropped = false;              // drop_inode seen
+};
+
+// User-level handle to a provenance object (what libpass hands out for
+// pass_mkobj / pass_reviveobj).
+struct PassObject {
+  PnodeId pnode = kInvalidPnode;
+  os::VnodeRef vnode;
+
+  bool valid() const { return pnode != kInvalidPnode; }
+};
+
+}  // namespace pass::core
+
+#endif  // SRC_CORE_OBJECT_H_

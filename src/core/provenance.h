@@ -1,0 +1,135 @@
+#ifndef SRC_CORE_PROVENANCE_H_
+#define SRC_CORE_PROVENANCE_H_
+
+// The provenance data model of PASSv2 (§5.2):
+//
+//  * A pnode number is a unique, never-recycled ID assigned to an object at
+//    creation time — the handle for the object's provenance.
+//  * A provenance record is one attribute/value pair; the value is a plain
+//    value (int, string, ...) or a cross-reference to another object
+//    (pnode + version).
+//  * A bundle is an array of (object, records[]) entries, so the complete
+//    provenance of one block of data — possibly describing several objects,
+//    e.g. the processes and pipes of a shell pipeline — travels as one unit
+//    through pass_write.
+//
+// This header has no dependency on the OS substrate; it is the vocabulary
+// shared by every layer (applications, the observer, NFS, Lasagna).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/encode.h"
+#include "src/util/result.h"
+
+namespace pass::core {
+
+using PnodeId = uint64_t;
+using Version = uint32_t;
+
+constexpr PnodeId kInvalidPnode = 0;
+
+// A reference to a specific version of a specific object.
+struct ObjectRef {
+  PnodeId pnode = kInvalidPnode;
+  Version version = 0;
+
+  bool valid() const { return pnode != kInvalidPnode; }
+  bool operator==(const ObjectRef&) const = default;
+  bool operator<(const ObjectRef& other) const {
+    return pnode != other.pnode ? pnode < other.pnode
+                                : version < other.version;
+  }
+  std::string ToString() const;
+};
+
+// Attribute vocabulary. The per-application record types of Table 1 are all
+// here; kAnnotation covers future application-defined attributes.
+enum class Attr : uint16_t {
+  // Core / observer records.
+  kInput = 1,     // ancestry: subject depends on value (ObjectRef)
+  kName = 2,      // file path, operator name, function name...
+  kType = 3,      // "FILE", "PROC", "PIPE", "SESSION", "OPERATOR", ...
+  kArgv = 4,      // process arguments
+  kEnv = 5,       // process environment
+  kPid = 6,       // process id
+  kFreeze = 7,    // version boundary marker (value = new version)
+  // PA-NFS (Table 1).
+  kBeginTxn = 16,  // beginning record of a transaction (value = txn id)
+  kEndTxn = 17,    // terminating record of a transaction (value = txn id)
+  // PA-Kepler (Table 1).
+  kParams = 32,    // operator parameters ("fileName=out.txt")
+  // PA-links (Table 1).
+  kVisitedUrl = 48,  // session visited URL
+  kFileUrl = 49,     // URL of a downloaded file
+  kCurrentUrl = 50,  // URL being viewed when download started
+  // Generic application annotation: name carried in `key`.
+  kAnnotation = 255,
+};
+
+std::string_view AttrName(Attr attr);
+
+// A record value: empty, integer, real, boolean, string, or object xref.
+using Value =
+    std::variant<std::monostate, int64_t, double, bool, std::string, ObjectRef>;
+
+std::string ValueToString(const Value& v);
+
+// One unit of provenance.
+struct Record {
+  Attr attr = Attr::kAnnotation;
+  std::string key;  // only for kAnnotation (the attribute's name)
+  Value value;
+
+  bool operator==(const Record&) const = default;
+  std::string ToString() const;
+
+  // Factory helpers for the common cases.
+  static Record Input(ObjectRef ancestor);
+  static Record Name(std::string name);
+  static Record Type(std::string type);
+  static Record Annotation(std::string key, Value value);
+  static Record Of(Attr attr, Value value);
+};
+
+// One bundle entry: records describing a single object. `target` may be a
+// file (resolved by Lasagna from the vnode) or any object created with
+// pass_mkobj. A default-constructed (invalid) target means "the object this
+// pass_write is addressed to".
+struct BundleEntry {
+  ObjectRef target;
+  std::vector<Record> records;
+};
+
+// The provenance bundle handed to pass_write.
+using Bundle = std::vector<BundleEntry>;
+
+// Append (subject, record) to a bundle, coalescing consecutive records
+// about the same subject into one entry.
+void AppendToBundle(Bundle* bundle, const ObjectRef& subject,
+                    const Record& record);
+
+// Total number of records across all entries.
+size_t BundleRecordCount(const Bundle& bundle);
+
+// Serialized size (used for NFS chunking decisions and space accounting).
+size_t EncodedSize(const Record& record);
+
+// Wire encoding shared by the Lasagna log and the NFS provenance ops.
+void EncodeRecord(std::string* out, const Record& record);
+Result<Record> DecodeRecord(Decoder* in);
+
+void EncodeObjectRef(std::string* out, const ObjectRef& ref);
+Result<ObjectRef> DecodeObjectRef(Decoder* in);
+
+void EncodeBundle(std::string* out, const Bundle& bundle);
+Result<Bundle> DecodeBundle(Decoder* in);
+
+// Stable content hash of a record (analyzer duplicate elimination).
+uint64_t RecordHash(const Record& record);
+
+}  // namespace pass::core
+
+#endif  // SRC_CORE_PROVENANCE_H_

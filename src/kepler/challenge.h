@@ -1,0 +1,54 @@
+#ifndef SRC_KEPLER_CHALLENGE_H_
+#define SRC_KEPLER_CHALLENGE_H_
+
+// The First Provenance Challenge workflow [24], used throughout the paper's
+// use cases and evaluation: four anatomy images are aligned against a
+// reference, resliced, averaged (softmean), sliced along three axes, and
+// converted into the atlas-x/y/z.gif outputs.
+//
+// Also provides the PA-Kepler tabular workload of §7 (parse tabular data,
+// extract values, reformat with a user-specified expression).
+
+#include <string>
+#include <vector>
+
+#include "src/kepler/kepler.h"
+
+namespace pass::kepler {
+
+struct ChallengePaths {
+  // 4 anatomy images + headers, 1 reference image, all on `input_dir`.
+  std::string input_dir = "/inputs";
+  std::string output_dir = "/outputs";
+  std::string scratch_dir = "/scratch";
+
+  std::string Anatomy(int i) const;
+  std::string AnatomyHeader(int i) const;
+  std::string Reference() const;
+  std::string Atlas(char axis) const;  // 'x' | 'y' | 'z'
+};
+
+// Write deterministic synthetic anatomy inputs (via the kernel, so their
+// creation is itself provenanced if PASS is attached; use a separate setup
+// pid for out-of-band seeding).
+Status SeedChallengeInputs(os::Kernel* kernel, os::Pid pid,
+                           const ChallengePaths& paths, uint64_t seed,
+                           size_t image_bytes = 16 * 1024);
+
+// Build the full workflow into `engine`. Returns the sink operators for the
+// three atlas outputs.
+std::vector<FileSinkOp*> BuildChallengeWorkflow(KeplerEngine* engine,
+                                                const ChallengePaths& paths);
+
+// The PA-Kepler evaluation workload: parse tabular data, extract values,
+// reformat using `expression` ("%a-%b" style), write the result.
+void BuildTabularWorkflow(KeplerEngine* engine, const std::string& input,
+                          const std::string& output,
+                          const std::string& expression);
+
+// Deterministic tabular input (rows x cols integer table).
+std::string MakeTabularData(uint64_t seed, size_t rows, size_t cols);
+
+}  // namespace pass::kepler
+
+#endif  // SRC_KEPLER_CHALLENGE_H_

@@ -1,0 +1,93 @@
+#include "src/lasagna/log_format.h"
+
+#include "src/util/crc32.h"
+#include "src/util/encode.h"
+
+namespace pass::lasagna {
+
+void EncodeLogEntry(std::string* out, const LogEntry& entry) {
+  std::string payload;
+  PutU64(&payload, entry.subject.pnode);
+  PutU32(&payload, entry.subject.version);
+  core::EncodeRecord(&payload, entry.record);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload);
+}
+
+std::string EncodeTxnDescriptor(const TxnDescriptor& descriptor) {
+  std::string out;
+  PutU64(&out, descriptor.txn_id);
+  out.append(reinterpret_cast<const char*>(descriptor.data_md5.data()),
+             descriptor.data_md5.size());
+  PutBytes(&out, descriptor.path);
+  PutU64(&out, descriptor.offset);
+  PutU64(&out, descriptor.length);
+  return out;
+}
+
+Result<TxnDescriptor> DecodeTxnDescriptor(std::string_view blob) {
+  Decoder in(blob);
+  TxnDescriptor descriptor;
+  PASS_ASSIGN_OR_RETURN(descriptor.txn_id, in.U64());
+  if (in.remaining() < descriptor.data_md5.size()) {
+    return Corrupt("short txn descriptor");
+  }
+  for (auto& byte : descriptor.data_md5) {
+    PASS_ASSIGN_OR_RETURN(byte, in.U8());
+  }
+  PASS_ASSIGN_OR_RETURN(descriptor.path, in.Bytes());
+  PASS_ASSIGN_OR_RETURN(descriptor.offset, in.U64());
+  PASS_ASSIGN_OR_RETURN(descriptor.length, in.U64());
+  return descriptor;
+}
+
+Result<std::optional<LogEntry>> LogReader::Next() {
+  if (pos_ == data_.size()) {
+    return std::optional<LogEntry>();  // clean end
+  }
+  Decoder header(data_.substr(pos_));
+  auto len = header.U32();
+  auto crc = header.U32();
+  if (!len.ok() || !crc.ok()) {
+    return Corrupt("truncated log frame header");
+  }
+  if (data_.size() - pos_ - 8 < *len) {
+    return Corrupt("truncated log frame payload");
+  }
+  std::string_view payload = data_.substr(pos_ + 8, *len);
+  if (Crc32(payload) != *crc) {
+    return Corrupt("log frame CRC mismatch");
+  }
+  Decoder body(payload);
+  LogEntry entry;
+  PASS_ASSIGN_OR_RETURN(entry.subject.pnode, body.U64());
+  PASS_ASSIGN_OR_RETURN(entry.subject.version, body.U32());
+  PASS_ASSIGN_OR_RETURN(entry.record, core::DecodeRecord(&body));
+  pos_ += 8 + *len;
+  return std::optional<LogEntry>(std::move(entry));
+}
+
+Result<std::vector<LogEntry>> ParseLog(std::string_view data,
+                                       bool* truncated) {
+  if (truncated != nullptr) {
+    *truncated = false;
+  }
+  LogReader reader(data);
+  std::vector<LogEntry> entries;
+  for (;;) {
+    auto next = reader.Next();
+    if (!next.ok()) {
+      if (truncated != nullptr) {
+        *truncated = true;
+      }
+      return entries;  // damaged tail: return the valid prefix
+    }
+    if (!next->has_value()) {
+      return entries;
+    }
+    entries.push_back(std::move(**next));
+  }
+}
+
+}  // namespace pass::lasagna

@@ -1,0 +1,79 @@
+#ifndef SRC_LASAGNA_LOG_FORMAT_H_
+#define SRC_LASAGNA_LOG_FORMAT_H_
+
+// On-disk format of the Lasagna provenance log (§5.6).
+//
+// The log is a sequence of CRC-framed entries:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//   payload := [u64 subject_pnode][u32 subject_version][Record]
+//
+// Every pass_write is bracketed by transactional records:
+//
+//   BEGINTXN(txn_id)
+//   ...bundle records...
+//   ENDTXN(descriptor)    descriptor = txn id + MD5 of the data extent +
+//                         target path/offset/length
+//
+// Write-ahead provenance (WAP): all frames of a transaction are appended —
+// and reach the disk — strictly before the data write they describe. After
+// a crash, recovery replays the log: a BEGINTXN without its ENDTXN is
+// orphaned provenance (discarded, as in the client-crash case of §6.1.2);
+// an ENDTXN whose MD5 does not match the on-disk extent identifies exactly
+// the data that was in flight when the machine died.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/provenance.h"
+#include "src/util/md5.h"
+
+namespace pass::lasagna {
+
+struct LogEntry {
+  core::ObjectRef subject;
+  core::Record record;
+};
+
+// Descriptor carried in the ENDTXN record's string value.
+struct TxnDescriptor {
+  uint64_t txn_id = 0;
+  Md5Digest data_md5{};
+  std::string path;     // lower-fs path of the data target ("" = prov-only)
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+// Frame one entry (length + CRC + payload).
+void EncodeLogEntry(std::string* out, const LogEntry& entry);
+
+// Encode/decode the ENDTXN descriptor blob.
+std::string EncodeTxnDescriptor(const TxnDescriptor& descriptor);
+Result<TxnDescriptor> DecodeTxnDescriptor(std::string_view blob);
+
+// Streaming decoder over a log file image. Stops cleanly at a truncated or
+// corrupt tail (the crash case).
+class LogReader {
+ public:
+  explicit LogReader(std::string_view data) : data_(data) {}
+
+  // nullopt = clean end of log. Corrupt() = damaged tail; callers count it
+  // and stop.
+  Result<std::optional<LogEntry>> Next();
+
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Parse an entire log image; `truncated` (optional) reports whether the log
+// ended in a damaged frame.
+Result<std::vector<LogEntry>> ParseLog(std::string_view data,
+                                       bool* truncated = nullptr);
+
+}  // namespace pass::lasagna
+
+#endif  // SRC_LASAGNA_LOG_FORMAT_H_

@@ -1,0 +1,137 @@
+#include "src/lasagna/recovery.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/md5.h"
+#include "src/util/strings.h"
+
+namespace pass::lasagna {
+namespace {
+
+struct OpenTxn {
+  std::vector<LogEntry> entries;  // including BEGINTXN
+};
+
+// Numeric sort for log.N names.
+uint64_t LogNumber(const std::string& name) {
+  size_t dot = name.rfind('.');
+  if (dot == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(name.c_str() + dot + 1, nullptr, 10);
+}
+
+}  // namespace
+
+Result<RecoveryReport> RunRecovery(fs::MemFs* lower,
+                                   const std::string& log_dir) {
+  RecoveryReport report;
+  if (!lower->ExistsRaw(log_dir)) {
+    return report;
+  }
+  PASS_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        lower->ListDirRaw(log_dir));
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              return LogNumber(a) < LogNumber(b);
+            });
+
+  std::map<uint64_t, OpenTxn> open_txns;
+  // Last ENDTXN descriptor per data path, in log order: only the final
+  // write to a path can be torn by the crash.
+  std::map<std::string, TxnDescriptor> last_write;
+  std::map<std::string, std::vector<LogEntry>> last_write_entries;
+
+  for (const std::string& name : names) {
+    std::string path = log_dir + "/" + name;
+    PASS_ASSIGN_OR_RETURN(std::string image, lower->ReadFileRaw(path));
+    ++report.logs_scanned;
+    bool truncated = false;
+    PASS_ASSIGN_OR_RETURN(std::vector<LogEntry> entries,
+                          ParseLog(image, &truncated));
+    if (truncated) {
+      ++report.truncated_logs;
+    }
+    for (LogEntry& entry : entries) {
+      ++report.records_scanned;
+      if (entry.record.attr == core::Attr::kBeginTxn) {
+        uint64_t txn_id = static_cast<uint64_t>(
+            std::get<int64_t>(entry.record.value));
+        open_txns[txn_id].entries.push_back(std::move(entry));
+        continue;
+      }
+      if (entry.record.attr == core::Attr::kEndTxn) {
+        const auto& blob = std::get<std::string>(entry.record.value);
+        PASS_ASSIGN_OR_RETURN(TxnDescriptor descriptor,
+                              DecodeTxnDescriptor(blob));
+        auto it = open_txns.find(descriptor.txn_id);
+        if (it == open_txns.end()) {
+          // END without BEGIN: treat as orphaned.
+          ++report.orphaned_txns;
+          continue;
+        }
+        ++report.complete_txns;
+        std::vector<LogEntry> txn_entries = std::move(it->second.entries);
+        open_txns.erase(it);
+        if (descriptor.path.empty()) {
+          // Provenance-only transaction: always consistent once complete.
+          for (auto& e : txn_entries) {
+            if (e.record.attr != core::Attr::kBeginTxn) {
+              report.recovered_entries.push_back(std::move(e));
+            }
+          }
+          continue;
+        }
+        // Data transaction: supersede any earlier pending check for the
+        // same path (its data became durable before this txn was logged).
+        if (auto prev = last_write_entries.find(descriptor.path);
+            prev != last_write_entries.end()) {
+          ++report.consistent_extents;
+          for (auto& e : prev->second) {
+            report.recovered_entries.push_back(std::move(e));
+          }
+        }
+        txn_entries.erase(
+            std::remove_if(txn_entries.begin(), txn_entries.end(),
+                           [](const LogEntry& e) {
+                             return e.record.attr == core::Attr::kBeginTxn;
+                           }),
+            txn_entries.end());
+        last_write[descriptor.path] = descriptor;
+        last_write_entries[descriptor.path] = std::move(txn_entries);
+        continue;
+      }
+      // Ordinary record: attach to the (single) open transaction if one
+      // exists; otherwise it is a stray record (count as scanned only).
+      if (!open_txns.empty()) {
+        open_txns.rbegin()->second.entries.push_back(std::move(entry));
+      }
+    }
+  }
+
+  report.orphaned_txns += open_txns.size();
+
+  // Verify the final write to every path against the on-disk bytes.
+  for (auto& [path, descriptor] : last_write) {
+    bool consistent = false;
+    auto data = lower->ReadFileRaw(path);
+    if (data.ok() && data->size() >= descriptor.offset + descriptor.length) {
+      std::string_view extent(*data);
+      extent = extent.substr(descriptor.offset, descriptor.length);
+      consistent = Md5::Hash(extent) == descriptor.data_md5;
+    }
+    if (consistent) {
+      ++report.consistent_extents;
+      for (auto& e : last_write_entries[path]) {
+        report.recovered_entries.push_back(std::move(e));
+      }
+    } else {
+      ++report.inconsistent_extents;
+      report.inconsistent_paths.push_back(path);
+    }
+  }
+  return report;
+}
+
+}  // namespace pass::lasagna

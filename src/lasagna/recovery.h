@@ -1,0 +1,47 @@
+#ifndef SRC_LASAGNA_RECOVERY_H_
+#define SRC_LASAGNA_RECOVERY_H_
+
+// Crash recovery for the write-ahead provenance protocol (§5.6): "we use
+// transactional structures in the log along with MD5sums of data so that
+// during file system recovery, we identify any data for which the
+// provenance is inconsistent. This indicates precisely the data that was
+// being written to disk at the time of a crash."
+
+#include <string>
+#include <vector>
+
+#include "src/fs/memfs.h"
+#include "src/lasagna/log_format.h"
+
+namespace pass::lasagna {
+
+struct RecoveryReport {
+  uint64_t logs_scanned = 0;
+  uint64_t records_scanned = 0;
+  uint64_t complete_txns = 0;
+  // BEGINTXN without ENDTXN: orphaned provenance, discarded (this is also
+  // how a PA-NFS server identifies a crashed client's partial transaction).
+  uint64_t orphaned_txns = 0;
+  // Log tail destroyed mid-frame by the crash.
+  uint64_t truncated_logs = 0;
+  // ENDTXN whose MD5 matches the on-disk extent.
+  uint64_t consistent_extents = 0;
+  // ENDTXN whose data never (fully) reached the disk.
+  uint64_t inconsistent_extents = 0;
+  std::vector<std::string> inconsistent_paths;
+
+  // Provenance entries that survived recovery (valid, complete txns), ready
+  // for Waldo.
+  std::vector<LogEntry> recovered_entries;
+};
+
+// Scan every log under `log_dir` on the (possibly crash-truncated) lower
+// file system and classify transactions. Only the *last* transaction per
+// data path can be inconsistent under ordered writes; earlier transactions'
+// data was durable before later log frames were appended.
+Result<RecoveryReport> RunRecovery(fs::MemFs* lower,
+                                   const std::string& log_dir = "/.pass");
+
+}  // namespace pass::lasagna
+
+#endif  // SRC_LASAGNA_RECOVERY_H_

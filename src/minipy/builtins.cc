@@ -1,0 +1,441 @@
+// MiniPy builtins and methods: the runtime library scripts program against,
+// including the provenance-aware file object and the `pa_wrap` wrapper.
+
+#include <algorithm>
+
+#include "src/minipy/minipy.h"
+#include "src/util/strings.h"
+
+namespace pass::minipy {
+namespace {
+
+Result<ValueRef> NeedArgs(const std::vector<ValueRef>& args, size_t n,
+                          const char* who) {
+  if (args.size() != n) {
+    return InvalidArgument(
+        StrFormat("%s expects %zu argument(s), got %zu", who, n, args.size()));
+  }
+  return MakeNone();
+}
+
+ValueRef MakeBuiltin(
+    std::function<Result<ValueRef>(Interp&, std::vector<ValueRef>&)> fn) {
+  auto v = std::make_shared<Value>();
+  v->kind = ValueKind::kBuiltin;
+  v->builtin = std::move(fn);
+  return v;
+}
+
+// File read through the DPAPI when available so the value carries its
+// (pnode, version) origin.
+Result<ValueRef> FileRead(Interp& interp, Value& file) {
+  if (!file.file_open) {
+    return BadFd("read on closed file");
+  }
+  std::string data;
+  core::ObjectRef origin;
+  constexpr size_t kChunk = 64 * 1024;
+  for (;;) {
+    if (interp.lib() != nullptr) {
+      PASS_ASSIGN_OR_RETURN(core::DpapiReadResult piece,
+                            interp.lib()->Read(file.fd, kChunk));
+      origin = piece.source;
+      data += piece.data;
+      if (piece.data.size() < kChunk) {
+        break;
+      }
+    } else {
+      std::string piece;
+      PASS_ASSIGN_OR_RETURN(
+          size_t n, interp.kernel()->Read(interp.pid(), file.fd, kChunk,
+                                          &piece));
+      data += piece;
+      if (n < kChunk) {
+        break;
+      }
+    }
+  }
+  ValueRef result = MakeStr(std::move(data));
+  result->origin = origin;
+  return result;
+}
+
+Result<ValueRef> FileWrite(Interp& interp, Value& file, const ValueRef& arg) {
+  if (!file.file_open) {
+    return BadFd("write on closed file");
+  }
+  std::string data =
+      arg->kind == ValueKind::kStr ? arg->s : arg->Repr();
+  if (interp.lib() != nullptr) {
+    std::vector<core::Record> records;
+    if (arg->origin.valid()) {
+      // The written bytes derive from a tagged value: disclose it (this is
+      // how PA-Python links plot outputs to the XML documents actually
+      // used, §3.3).
+      records.push_back(core::Record::Input(arg->origin));
+    }
+    PASS_ASSIGN_OR_RETURN(size_t n, interp.lib()->WriteFile(
+                                        file.fd, data, std::move(records)));
+    return MakeInt(static_cast<int64_t>(n));
+  }
+  PASS_ASSIGN_OR_RETURN(size_t n,
+                        interp.kernel()->Write(interp.pid(), file.fd, data));
+  return MakeInt(static_cast<int64_t>(n));
+}
+
+}  // namespace
+
+Result<ValueRef> Interp::CallMethod(const ValueRef& object,
+                                    const std::string& name,
+                                    std::vector<ValueRef>& args) {
+  switch (object->kind) {
+    case ValueKind::kStr: {
+      const std::string& s = object->s;
+      // String methods propagate the origin tag: the wrapper package wraps
+      // basic types (§6.4).
+      auto tag = [&](ValueRef v) {
+        v->origin = object->origin;
+        return v;
+      };
+      if (name == "split") {
+        std::string sep = "\n";
+        if (!args.empty() && args[0]->kind == ValueKind::kStr) {
+          sep = args[0]->s;
+        }
+        std::vector<ValueRef> pieces;
+        size_t start = 0;
+        while (start <= s.size()) {
+          size_t end = s.find(sep, start);
+          if (end == std::string::npos) {
+            pieces.push_back(tag(MakeStr(s.substr(start))));
+            break;
+          }
+          pieces.push_back(tag(MakeStr(s.substr(start, end - start))));
+          start = end + sep.size();
+        }
+        return tag(MakeList(std::move(pieces)));
+      }
+      if (name == "strip") {
+        size_t begin = s.find_first_not_of(" \t\n\r");
+        size_t end = s.find_last_not_of(" \t\n\r");
+        if (begin == std::string::npos) {
+          return tag(MakeStr(""));
+        }
+        return tag(MakeStr(s.substr(begin, end - begin + 1)));
+      }
+      if (name == "startswith") {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "startswith").status());
+        return MakeBool(StartsWith(s, args[0]->s));
+      }
+      if (name == "endswith") {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "endswith").status());
+        return MakeBool(EndsWith(s, args[0]->s));
+      }
+      if (name == "upper" || name == "lower") {
+        std::string out = s;
+        for (char& c : out) {
+          c = name == "upper"
+                  ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                  : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        return tag(MakeStr(std::move(out)));
+      }
+      if (name == "replace") {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 2, "replace").status());
+        std::string out;
+        size_t start = 0;
+        const std::string& from = args[0]->s;
+        const std::string& to = args[1]->s;
+        while (start < s.size()) {
+          size_t hit = s.find(from, start);
+          if (hit == std::string::npos || from.empty()) {
+            out += s.substr(start);
+            break;
+          }
+          out += s.substr(start, hit - start);
+          out += to;
+          start = hit + from.size();
+        }
+        return tag(MakeStr(std::move(out)));
+      }
+      if (name == "join") {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "join").status());
+        std::string out;
+        core::ObjectRef origin = object->origin;
+        for (size_t i = 0; i < args[0]->list.size(); ++i) {
+          if (i > 0) {
+            out += s;
+          }
+          out += args[0]->list[i]->s;
+          if (!origin.valid()) {
+            origin = args[0]->list[i]->origin;
+          }
+        }
+        auto result = MakeStr(std::move(out));
+        result->origin = origin;
+        return result;
+      }
+      if (name == "find") {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "find").status());
+        size_t hit = s.find(args[0]->s);
+        return MakeInt(hit == std::string::npos ? -1
+                                                : static_cast<int64_t>(hit));
+      }
+      break;
+    }
+    case ValueKind::kList: {
+      if (name == "append") {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "append").status());
+        object->list.push_back(args[0]);
+        return MakeNone();
+      }
+      if (name == "sort") {
+        std::sort(object->list.begin(), object->list.end(),
+                  [](const ValueRef& a, const ValueRef& b) {
+                    if (a->kind == ValueKind::kStr &&
+                        b->kind == ValueKind::kStr) {
+                      return a->s < b->s;
+                    }
+                    return a->i < b->i;
+                  });
+        return MakeNone();
+      }
+      break;
+    }
+    case ValueKind::kDict: {
+      if (name == "get") {
+        if (args.empty() || args[0]->kind != ValueKind::kStr) {
+          return InvalidArgument("get expects a string key");
+        }
+        auto it = object->dict.find(args[0]->s);
+        if (it != object->dict.end()) {
+          return it->second;
+        }
+        return args.size() > 1 ? args[1] : MakeNone();
+      }
+      if (name == "keys") {
+        std::vector<ValueRef> keys;
+        for (const auto& [key, value] : object->dict) {
+          keys.push_back(MakeStr(key));
+        }
+        return MakeList(std::move(keys));
+      }
+      if (name == "values") {
+        std::vector<ValueRef> values;
+        for (const auto& [key, value] : object->dict) {
+          values.push_back(value);
+        }
+        return MakeList(std::move(values));
+      }
+      break;
+    }
+    case ValueKind::kFile: {
+      if (name == "read") {
+        return FileRead(*this, *object);
+      }
+      if (name == "write") {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "write").status());
+        return FileWrite(*this, *object, args[0]);
+      }
+      if (name == "close") {
+        if (object->file_open) {
+          PASS_RETURN_IF_ERROR(kernel_->Close(pid_, object->fd));
+          object->file_open = false;
+        }
+        return MakeNone();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return InvalidArgument("no method '" + name + "' on " + object->Repr());
+}
+
+void Interp::InstallBuiltins() {
+  auto& names = globals_->names;
+
+  names["print"] = MakeBuiltin(
+      [](Interp& interp, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        std::string line;
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) {
+            line += " ";
+          }
+          line += args[i]->Repr();
+        }
+        interp.Print(line);
+        return MakeNone();
+      });
+
+  names["len"] = MakeBuiltin(
+      [](Interp&, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "len").status());
+        const ValueRef& v = args[0];
+        switch (v->kind) {
+          case ValueKind::kStr:
+            return MakeInt(static_cast<int64_t>(v->s.size()));
+          case ValueKind::kList:
+            return MakeInt(static_cast<int64_t>(v->list.size()));
+          case ValueKind::kDict:
+            return MakeInt(static_cast<int64_t>(v->dict.size()));
+          default:
+            return InvalidArgument("len of non-container");
+        }
+      });
+
+  names["range"] = MakeBuiltin(
+      [](Interp&, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        int64_t lo = 0;
+        int64_t hi = 0;
+        if (args.size() == 1) {
+          hi = args[0]->i;
+        } else if (args.size() == 2) {
+          lo = args[0]->i;
+          hi = args[1]->i;
+        } else {
+          return InvalidArgument("range expects 1 or 2 arguments");
+        }
+        std::vector<ValueRef> items;
+        for (int64_t i = lo; i < hi; ++i) {
+          items.push_back(MakeInt(i));
+        }
+        return MakeList(std::move(items));
+      });
+
+  names["str"] = MakeBuiltin(
+      [](Interp&, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "str").status());
+        auto out = MakeStr(args[0]->Repr());
+        out->origin = args[0]->origin;
+        return out;
+      });
+
+  names["int"] = MakeBuiltin(
+      [](Interp&, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "int").status());
+        const ValueRef& v = args[0];
+        if (v->kind == ValueKind::kInt) {
+          return v;
+        }
+        if (v->kind == ValueKind::kFloat) {
+          return MakeInt(static_cast<int64_t>(v->f));
+        }
+        if (v->kind == ValueKind::kStr) {
+          auto out = MakeInt(std::strtoll(v->s.c_str(), nullptr, 10));
+          out->origin = v->origin;
+          return out;
+        }
+        return InvalidArgument("int() of non-number");
+      });
+
+  names["float"] = MakeBuiltin(
+      [](Interp&, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "float").status());
+        const ValueRef& v = args[0];
+        if (v->kind == ValueKind::kFloat) {
+          return v;
+        }
+        if (v->kind == ValueKind::kInt) {
+          return MakeFloat(static_cast<double>(v->i));
+        }
+        if (v->kind == ValueKind::kStr) {
+          auto out = MakeFloat(std::strtod(v->s.c_str(), nullptr));
+          out->origin = v->origin;
+          return out;
+        }
+        return InvalidArgument("float() of non-number");
+      });
+
+  names["sum"] = MakeBuiltin(
+      [](Interp&, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "sum").status());
+        double total = 0;
+        bool real = false;
+        for (const ValueRef& v : args[0]->list) {
+          if (v->kind == ValueKind::kFloat) {
+            real = true;
+          }
+          total += v->kind == ValueKind::kInt ? static_cast<double>(v->i)
+                                              : v->f;
+        }
+        if (real) {
+          return MakeFloat(total);
+        }
+        return MakeInt(static_cast<int64_t>(total));
+      });
+
+  names["sorted"] = MakeBuiltin(
+      [](Interp&, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "sorted").status());
+        auto out = MakeList(args[0]->list);
+        std::sort(out->list.begin(), out->list.end(),
+                  [](const ValueRef& a, const ValueRef& b) {
+                    if (a->kind == ValueKind::kStr &&
+                        b->kind == ValueKind::kStr) {
+                      return a->s < b->s;
+                    }
+                    return a->i < b->i;
+                  });
+        return out;
+      });
+
+  names["open"] = MakeBuiltin(
+      [](Interp& interp, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        if (args.empty() || args[0]->kind != ValueKind::kStr) {
+          return InvalidArgument("open expects a path");
+        }
+        std::string mode = "r";
+        if (args.size() > 1 && args[1]->kind == ValueKind::kStr) {
+          mode = args[1]->s;
+        }
+        uint32_t flags;
+        if (mode == "r") {
+          flags = os::kOpenRead;
+        } else if (mode == "w") {
+          flags = os::kOpenWrite | os::kOpenCreate | os::kOpenTrunc;
+        } else if (mode == "a") {
+          flags = os::kOpenWrite | os::kOpenCreate | os::kOpenAppend;
+        } else {
+          return InvalidArgument("bad open mode: " + mode);
+        }
+        PASS_ASSIGN_OR_RETURN(
+            os::Fd fd, interp.kernel()->Open(interp.pid(), args[0]->s, flags));
+        auto file = std::make_shared<Value>();
+        file->kind = ValueKind::kFile;
+        file->fd = fd;
+        file->file_open = true;
+        file->path = args[0]->s;
+        return ValueRef(file);
+      });
+
+  names["listdir"] = MakeBuiltin(
+      [](Interp& interp, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "listdir").status());
+        PASS_ASSIGN_OR_RETURN(
+            std::vector<os::Dirent> entries,
+            interp.kernel()->Readdir(interp.pid(), args[0]->s));
+        std::vector<ValueRef> names_out;
+        for (const os::Dirent& entry : entries) {
+          names_out.push_back(MakeStr(entry.name));
+        }
+        return MakeList(std::move(names_out));
+      });
+
+  // The pa module: pa_wrap makes a function provenance-aware (§6.4).
+  names["pa_wrap"] = MakeBuiltin(
+      [](Interp& interp, std::vector<ValueRef>& args) -> Result<ValueRef> {
+        PASS_RETURN_IF_ERROR(NeedArgs(args, 1, "pa_wrap").status());
+        if (args[0]->kind != ValueKind::kFunc) {
+          return InvalidArgument("pa_wrap expects a function");
+        }
+        auto wrapper = std::make_shared<Value>();
+        wrapper->kind = ValueKind::kFunc;
+        wrapper->func_name = args[0]->func_name + "@wrapped";
+        wrapper->pa_wrapped = true;
+        wrapper->wrapped_target = args[0];
+        return ValueRef(wrapper);
+      });
+}
+
+}  // namespace pass::minipy

@@ -1,0 +1,607 @@
+// MiniPy lexer + recursive-descent parser (indentation-structured blocks).
+
+#include <cctype>
+
+#include "src/minipy/minipy.h"
+#include "src/util/strings.h"
+
+namespace pass::minipy {
+namespace {
+
+enum class Tok : uint8_t {
+  kName,
+  kInt,
+  kFloat,
+  kStr,
+  kOp,       // operators and punctuation, text in `text`
+  kNewline,
+  kIndent,
+  kDedent,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int64_t i = 0;
+  double f = 0;
+  int line = 0;
+};
+
+bool IsKeyword(const std::string& word) {
+  static const std::set<std::string> kKeywords = {
+      "def", "return", "if",   "elif",  "else",     "while", "for",
+      "in",  "not",    "and",  "or",    "True",     "False", "None",
+      "pass", "break", "continue"};
+  return kKeywords.count(word) > 0;
+}
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::vector<int> indents{0};
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos < source.size()) {
+    // Start of a line: measure indentation.
+    size_t line_start = pos;
+    int spaces = 0;
+    while (pos < source.size() && (source[pos] == ' ' || source[pos] == '\t')) {
+      spaces += source[pos] == '\t' ? 8 : 1;
+      ++pos;
+    }
+    // Blank or comment-only lines don't affect indentation.
+    if (pos >= source.size() || source[pos] == '\n' || source[pos] == '#') {
+      while (pos < source.size() && source[pos] != '\n') {
+        ++pos;
+      }
+      if (pos < source.size()) {
+        ++pos;
+      }
+      ++line_number;
+      continue;
+    }
+    if (spaces > indents.back()) {
+      indents.push_back(spaces);
+      tokens.push_back(Token{Tok::kIndent, "", 0, 0, line_number});
+    }
+    while (spaces < indents.back()) {
+      indents.pop_back();
+      tokens.push_back(Token{Tok::kDedent, "", 0, 0, line_number});
+    }
+    if (spaces != indents.back()) {
+      return InvalidArgument(
+          StrFormat("bad indentation at line %d", line_number + 1));
+    }
+    (void)line_start;
+    // Tokens within the line.
+    while (pos < source.size() && source[pos] != '\n') {
+      char c = source[pos];
+      if (c == ' ' || c == '\t') {
+        ++pos;
+        continue;
+      }
+      if (c == '#') {
+        while (pos < source.size() && source[pos] != '\n') {
+          ++pos;
+        }
+        break;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        size_t start = pos;
+        while (pos < source.size() &&
+               (std::isalnum(static_cast<unsigned char>(source[pos])) != 0 ||
+                source[pos] == '_')) {
+          ++pos;
+        }
+        tokens.push_back(Token{Tok::kName,
+                               std::string(source.substr(start, pos - start)),
+                               0, 0, line_number});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        size_t start = pos;
+        bool real = false;
+        while (pos < source.size() &&
+               (std::isdigit(static_cast<unsigned char>(source[pos])) != 0 ||
+                source[pos] == '.')) {
+          if (source[pos] == '.') {
+            real = true;
+          }
+          ++pos;
+        }
+        std::string text(source.substr(start, pos - start));
+        Token token{real ? Tok::kFloat : Tok::kInt, text, 0, 0, line_number};
+        if (real) {
+          token.f = std::strtod(text.c_str(), nullptr);
+        } else {
+          token.i = std::strtoll(text.c_str(), nullptr, 10);
+        }
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        ++pos;
+        std::string text;
+        bool closed = false;
+        while (pos < source.size() && source[pos] != '\n') {
+          if (source[pos] == '\\' && pos + 1 < source.size()) {
+            char esc = source[pos + 1];
+            text.push_back(esc == 'n' ? '\n' : esc == 't' ? '\t' : esc);
+            pos += 2;
+            continue;
+          }
+          if (source[pos] == quote) {
+            closed = true;
+            ++pos;
+            break;
+          }
+          text.push_back(source[pos++]);
+        }
+        if (!closed) {
+          return InvalidArgument(
+              StrFormat("unterminated string at line %d", line_number + 1));
+        }
+        tokens.push_back(Token{Tok::kStr, std::move(text), 0, 0, line_number});
+        continue;
+      }
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "//"};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (source.substr(pos, 2) == op) {
+          tokens.push_back(Token{Tok::kOp, op, 0, 0, line_number});
+          pos += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        continue;
+      }
+      static const std::string kSingle = "+-*/%()[]{}:,=<>.";
+      if (kSingle.find(c) != std::string::npos) {
+        tokens.push_back(
+            Token{Tok::kOp, std::string(1, c), 0, 0, line_number});
+        ++pos;
+        continue;
+      }
+      return InvalidArgument(
+          StrFormat("bad character '%c' at line %d", c, line_number + 1));
+    }
+    tokens.push_back(Token{Tok::kNewline, "", 0, 0, line_number});
+    if (pos < source.size()) {
+      ++pos;  // consume '\n'
+    }
+    ++line_number;
+  }
+  while (indents.size() > 1) {
+    indents.pop_back();
+    tokens.push_back(Token{Tok::kDedent, "", 0, 0, line_number});
+  }
+  tokens.push_back(Token{Tok::kEnd, "", 0, 0, line_number});
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Program>> Parse() {
+    auto program = std::make_unique<Program>();
+    while (!At(Tok::kEnd)) {
+      PASS_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStmt());
+      program->body.push_back(std::move(stmt));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(Tok kind) const { return Peek().kind == kind; }
+  bool AtOp(std::string_view op) const {
+    return Peek().kind == Tok::kOp && Peek().text == op;
+  }
+  bool AtName(std::string_view name) const {
+    return Peek().kind == Tok::kName && Peek().text == name;
+  }
+  bool AcceptOp(std::string_view op) {
+    if (AtOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptName(std::string_view name) {
+    if (AtName(name)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(std::string_view op) {
+    if (!AcceptOp(op)) {
+      return Err(StrFormat("expected '%.*s'", static_cast<int>(op.size()),
+                           op.data()));
+    }
+    return Status::Ok();
+  }
+  Status Expect(Tok kind, const char* what) {
+    if (!At(kind)) {
+      return Err(StrFormat("expected %s", what));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+  Status Err(const std::string& message) const {
+    return InvalidArgument(
+        StrFormat("%s at line %d", message.c_str(), Peek().line + 1));
+  }
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    PASS_RETURN_IF_ERROR(ExpectOp(":"));
+    PASS_RETURN_IF_ERROR(Expect(Tok::kNewline, "newline"));
+    PASS_RETURN_IF_ERROR(Expect(Tok::kIndent, "indented block"));
+    std::vector<StmtPtr> block;
+    while (!At(Tok::kDedent) && !At(Tok::kEnd)) {
+      PASS_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStmt());
+      block.push_back(std::move(stmt));
+    }
+    PASS_RETURN_IF_ERROR(Expect(Tok::kDedent, "dedent"));
+    return block;
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    if (AcceptName("def")) {
+      stmt->kind = StmtKind::kDef;
+      if (!At(Tok::kName)) {
+        return Result<StmtPtr>(Err("expected function name"));
+      }
+      stmt->name = Peek().text;
+      ++pos_;
+      PASS_RETURN_IF_ERROR(ExpectOp("("));
+      while (!AtOp(")")) {
+        if (!At(Tok::kName)) {
+          return Result<StmtPtr>(Err("expected parameter name"));
+        }
+        stmt->params.push_back(Peek().text);
+        ++pos_;
+        if (!AcceptOp(",")) {
+          break;
+        }
+      }
+      PASS_RETURN_IF_ERROR(ExpectOp(")"));
+      PASS_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    if (AcceptName("return")) {
+      stmt->kind = StmtKind::kReturn;
+      if (!At(Tok::kNewline)) {
+        PASS_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      PASS_RETURN_IF_ERROR(Expect(Tok::kNewline, "newline"));
+      return stmt;
+    }
+    if (AcceptName("pass")) {
+      stmt->kind = StmtKind::kPass;
+      PASS_RETURN_IF_ERROR(Expect(Tok::kNewline, "newline"));
+      return stmt;
+    }
+    if (AcceptName("break")) {
+      stmt->kind = StmtKind::kBreak;
+      PASS_RETURN_IF_ERROR(Expect(Tok::kNewline, "newline"));
+      return stmt;
+    }
+    if (AcceptName("continue")) {
+      stmt->kind = StmtKind::kContinue;
+      PASS_RETURN_IF_ERROR(Expect(Tok::kNewline, "newline"));
+      return stmt;
+    }
+    if (AcceptName("if")) {
+      return ParseIf();
+    }
+    if (AcceptName("while")) {
+      stmt->kind = StmtKind::kWhile;
+      PASS_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      PASS_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    if (AcceptName("for")) {
+      stmt->kind = StmtKind::kFor;
+      if (!At(Tok::kName)) {
+        return Result<StmtPtr>(Err("expected loop variable"));
+      }
+      stmt->name = Peek().text;
+      ++pos_;
+      if (!AcceptName("in")) {
+        return Result<StmtPtr>(Err("expected 'in'"));
+      }
+      PASS_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      PASS_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    // Assignment or expression statement.
+    PASS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    if (AcceptOp("=")) {
+      if (expr->kind == ExprKind::kName) {
+        stmt->kind = StmtKind::kAssign;
+        stmt->name = expr->text;
+      } else if (expr->kind == ExprKind::kIndex) {
+        stmt->kind = StmtKind::kIndexAssign;
+        stmt->target = std::move(expr);
+      } else {
+        return Result<StmtPtr>(Err("bad assignment target"));
+      }
+      PASS_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      PASS_RETURN_IF_ERROR(Expect(Tok::kNewline, "newline"));
+      return stmt;
+    }
+    stmt->kind = StmtKind::kExpr;
+    stmt->expr = std::move(expr);
+    PASS_RETURN_IF_ERROR(Expect(Tok::kNewline, "newline"));
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kIf;
+    PASS_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    PASS_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+    if (AcceptName("elif")) {
+      PASS_ASSIGN_OR_RETURN(StmtPtr nested, ParseIf());
+      stmt->orelse.push_back(std::move(nested));
+      return stmt;
+    }
+    if (AcceptName("else")) {
+      PASS_ASSIGN_OR_RETURN(stmt->orelse, ParseBlock());
+    }
+    return stmt;
+  }
+
+  // Precedence: or < and < not < comparison < additive < multiplicative <
+  // unary- < postfix (call/attr/index) < primary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    PASS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptName("or")) {
+      PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("or", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PASS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptName("and")) {
+      PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary("and", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptName("not")) {
+      PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      auto expr = std::make_unique<ExprNode>();
+      expr->kind = ExprKind::kUnary;
+      expr->text = "not";
+      expr->rhs = std::move(rhs);
+      return expr;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    PASS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    static const char* kCmp[] = {"==", "!=", "<=", ">=", "<", ">"};
+    for (const char* op : kCmp) {
+      if (AcceptOp(op)) {
+        PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    if (AcceptName("in")) {
+      PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary("in", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    PASS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      if (AcceptOp("+")) {
+        PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary("+", std::move(lhs), std::move(rhs));
+      } else if (AcceptOp("-")) {
+        PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary("-", std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    PASS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      std::string op;
+      if (AtOp("*")) {
+        op = "*";
+      } else if (AtOp("/")) {
+        op = "/";
+      } else if (AtOp("//")) {
+        op = "//";
+      } else if (AtOp("%")) {
+        op = "%";
+      } else {
+        return lhs;
+      }
+      ++pos_;
+      PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptOp("-")) {
+      PASS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto expr = std::make_unique<ExprNode>();
+      expr->kind = ExprKind::kUnary;
+      expr->text = "-";
+      expr->rhs = std::move(rhs);
+      return expr;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    PASS_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    for (;;) {
+      if (AcceptOp("(")) {
+        auto call = std::make_unique<ExprNode>();
+        call->kind = ExprKind::kCall;
+        call->lhs = std::move(expr);
+        while (!AtOp(")")) {
+          PASS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          call->items.push_back(std::move(arg));
+          if (!AcceptOp(",")) {
+            break;
+          }
+        }
+        PASS_RETURN_IF_ERROR(ExpectOp(")"));
+        expr = std::move(call);
+        continue;
+      }
+      if (AcceptOp(".")) {
+        if (!At(Tok::kName)) {
+          return Result<ExprPtr>(Err("expected attribute name"));
+        }
+        auto attr = std::make_unique<ExprNode>();
+        attr->kind = ExprKind::kAttr;
+        attr->text = Peek().text;
+        ++pos_;
+        attr->lhs = std::move(expr);
+        expr = std::move(attr);
+        continue;
+      }
+      if (AcceptOp("[")) {
+        auto index = std::make_unique<ExprNode>();
+        index->kind = ExprKind::kIndex;
+        index->lhs = std::move(expr);
+        PASS_ASSIGN_OR_RETURN(index->rhs, ParseExpr());
+        PASS_RETURN_IF_ERROR(ExpectOp("]"));
+        expr = std::move(index);
+        continue;
+      }
+      return expr;
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    auto expr = std::make_unique<ExprNode>();
+    const Token& token = Peek();
+    switch (token.kind) {
+      case Tok::kInt:
+        expr->kind = ExprKind::kLiteral;
+        expr->literal = MakeInt(token.i);
+        ++pos_;
+        return expr;
+      case Tok::kFloat:
+        expr->kind = ExprKind::kLiteral;
+        expr->literal = MakeFloat(token.f);
+        ++pos_;
+        return expr;
+      case Tok::kStr:
+        expr->kind = ExprKind::kLiteral;
+        expr->literal = MakeStr(token.text);
+        ++pos_;
+        return expr;
+      case Tok::kName: {
+        if (token.text == "True" || token.text == "False") {
+          expr->kind = ExprKind::kLiteral;
+          expr->literal = MakeBool(token.text == "True");
+          ++pos_;
+          return expr;
+        }
+        if (token.text == "None") {
+          expr->kind = ExprKind::kLiteral;
+          expr->literal = MakeNone();
+          ++pos_;
+          return expr;
+        }
+        if (IsKeyword(token.text)) {
+          return Result<ExprPtr>(Err("unexpected keyword " + token.text));
+        }
+        expr->kind = ExprKind::kName;
+        expr->text = token.text;
+        ++pos_;
+        return expr;
+      }
+      case Tok::kOp:
+        if (AcceptOp("(")) {
+          PASS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          PASS_RETURN_IF_ERROR(ExpectOp(")"));
+          return inner;
+        }
+        if (AcceptOp("[")) {
+          expr->kind = ExprKind::kListLit;
+          while (!AtOp("]")) {
+            PASS_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+            expr->items.push_back(std::move(item));
+            if (!AcceptOp(",")) {
+              break;
+            }
+          }
+          PASS_RETURN_IF_ERROR(ExpectOp("]"));
+          return expr;
+        }
+        if (AcceptOp("{")) {
+          expr->kind = ExprKind::kDictLit;
+          while (!AtOp("}")) {
+            PASS_ASSIGN_OR_RETURN(ExprPtr key, ParseExpr());
+            PASS_RETURN_IF_ERROR(ExpectOp(":"));
+            PASS_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+            expr->items.push_back(std::move(key));
+            expr->items.push_back(std::move(value));
+            if (!AcceptOp(",")) {
+              break;
+            }
+          }
+          PASS_RETURN_IF_ERROR(ExpectOp("}"));
+          return expr;
+        }
+        break;
+      default:
+        break;
+    }
+    return Result<ExprPtr>(Err("expected expression"));
+  }
+
+  static ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+    auto expr = std::make_unique<ExprNode>();
+    expr->kind = ExprKind::kBinary;
+    expr->text = std::move(op);
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Program>> Parse(std::string_view source) {
+  PASS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace pass::minipy

@@ -1,0 +1,51 @@
+#include "src/nfs/protocol.h"
+
+namespace pass::nfs {
+
+std::string_view NfsOpName(NfsOp op) {
+  switch (op) {
+    case NfsOp::kLookup:
+      return "LOOKUP";
+    case NfsOp::kGetattr:
+      return "GETATTR";
+    case NfsOp::kCreate:
+      return "CREATE";
+    case NfsOp::kMkdir:
+      return "MKDIR";
+    case NfsOp::kRead:
+      return "READ";
+    case NfsOp::kWrite:
+      return "WRITE";
+    case NfsOp::kRemove:
+      return "REMOVE";
+    case NfsOp::kRename:
+      return "RENAME";
+    case NfsOp::kReaddir:
+      return "READDIR";
+    case NfsOp::kTruncate:
+      return "TRUNCATE";
+    case NfsOp::kPassRead:
+      return "OP_PASSREAD";
+    case NfsOp::kPassWrite:
+      return "OP_PASSWRITE";
+    case NfsOp::kBeginTxn:
+      return "OP_BEGINTXN";
+    case NfsOp::kPassProv:
+      return "OP_PASSPROV";
+    case NfsOp::kPassMkobj:
+      return "OP_PASSMKOBJ";
+    case NfsOp::kPassReviveobj:
+      return "OP_PASSREVIVEOBJ";
+  }
+  return "?";
+}
+
+uint64_t NfsRequest::WireSize() const {
+  return 64 + path.size() + path2.size() + data.size() + bundle.size();
+}
+
+uint64_t NfsResponse::WireSize() const {
+  return 64 + data.size() + names.size() + error.size();
+}
+
+}  // namespace pass::nfs

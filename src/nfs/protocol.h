@@ -1,0 +1,100 @@
+#ifndef SRC_NFS_PROTOCOL_H_
+#define SRC_NFS_PROTOCOL_H_
+
+// PA-NFS wire vocabulary (§6.1.2). Standard NFSv4-flavoured operations
+// plus the DPAPI extensions:
+//
+//   OP_PASSREAD       pass_read: data + (pnode, version) of the source
+//   OP_PASSWRITE      pass_write: data + provenance in one exchange (also
+//                     carries the ENDTXN record when committing a chunked
+//                     transaction)
+//   OP_BEGINTXN       open a protocol transaction at the server
+//   OP_PASSPROV       one <= wsize chunk of transaction provenance
+//   OP_PASSMKOBJ      allocate an application object pnode
+//   OP_PASSREVIVEOBJ  validate/reattach an application object
+//
+// pass_freeze is deliberately NOT an operation: it travels as a FREEZE
+// record inside OP_PASSWRITE so it cannot be reordered against the write
+// it protects (the paper's out-of-order argument).
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/provenance.h"
+
+namespace pass::nfs {
+
+enum class NfsOp : uint8_t {
+  // Standard namespace / data ops.
+  kLookup,
+  kGetattr,
+  kCreate,
+  kMkdir,
+  kRead,
+  kWrite,
+  kRemove,
+  kRename,
+  kReaddir,
+  kTruncate,
+  // DPAPI extensions.
+  kPassRead,
+  kPassWrite,
+  kBeginTxn,
+  kPassProv,
+  kPassMkobj,
+  kPassReviveobj,
+};
+
+std::string_view NfsOpName(NfsOp op);
+
+struct NfsRequest {
+  NfsOp op = NfsOp::kLookup;
+  std::string path;       // primary target
+  std::string path2;      // rename destination
+  uint64_t offset = 0;
+  uint64_t length = 0;    // read length
+  std::string data;       // write payload
+  std::string bundle;     // encoded core::Bundle (provenance)
+  uint64_t txn_id = 0;
+  core::PnodeId pnode = core::kInvalidPnode;
+  core::Version version = 0;
+  bool create_dir = false;
+
+  // Approximate wire size (headers + payloads) for the network model.
+  uint64_t WireSize() const;
+};
+
+struct NfsAttr {
+  bool is_dir = false;
+  uint64_t size = 0;
+};
+
+struct NfsResponse {
+  // Status travels as a code + message (no pointers across the "wire").
+  Code code = Code::kOk;
+  std::string error;
+  std::string data;       // read payload
+  std::string names;      // readdir: newline-separated
+  core::PnodeId pnode = core::kInvalidPnode;
+  core::Version version = 0;
+  uint64_t txn_id = 0;
+  uint64_t bytes = 0;     // bytes written
+  NfsAttr attr;
+
+  bool ok() const { return code == Code::kOk; }
+  Status ToStatus() const {
+    return ok() ? Status::Ok() : Status(code, error);
+  }
+  static NfsResponse From(const Status& status) {
+    NfsResponse response;
+    response.code = status.code();
+    response.error = status.message();
+    return response;
+  }
+
+  uint64_t WireSize() const;
+};
+
+}  // namespace pass::nfs
+
+#endif  // SRC_NFS_PROTOCOL_H_

@@ -1,0 +1,65 @@
+#ifndef SRC_OS_FILESYSTEM_H_
+#define SRC_OS_FILESYSTEM_H_
+
+// File system ("superblock") interface. Rename is a filesystem-level
+// operation because it spans two directories. The DPAPI superblock
+// operations pass_mkobj / pass_reviveobj live here (§5.6).
+
+#include <string>
+#include <string_view>
+
+#include "src/core/provenance.h"
+#include "src/os/vnode.h"
+#include "src/util/result.h"
+
+namespace pass::os {
+
+struct FsStats {
+  uint64_t bytes_data = 0;   // live file bytes
+  uint64_t files = 0;
+  uint64_t directories = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string name() const = 0;
+  virtual VnodeRef root() = 0;
+
+  // Move (parent_from, name_from) to (parent_to, name_to), replacing any
+  // existing target file.
+  virtual Status Rename(const VnodeRef& parent_from, std::string_view name_from,
+                        const VnodeRef& parent_to, std::string_view name_to) = 0;
+
+  // Flush caches / journal.
+  virtual Status Sync() { return Status::Ok(); }
+
+  virtual FsStats stats() const { return FsStats(); }
+
+  // ---- DPAPI superblock operations (Lasagna only) ------------------------
+  virtual bool provenance_capable() const { return false; }
+
+  // Create an object that has provenance but no file-system presence
+  // (browser session, data set, Python function...). Referenced like a file.
+  virtual Result<VnodeRef> PassMkobj() {
+    return Unsupported("pass_mkobj: not a provenance-aware volume");
+  }
+
+  // Revive an object previously created with pass_mkobj (§5.2: added for
+  // Firefox-style session restore).
+  virtual Result<VnodeRef> PassReviveobj(core::PnodeId pnode,
+                                         core::Version version) {
+    return Unsupported("pass_reviveobj: not a provenance-aware volume");
+  }
+
+  // Provenance-only append (pass_sync / distributor flush with no data
+  // write attached). Maps to OP_PASSPROV in PA-NFS.
+  virtual Status PassProv(const core::Bundle& bundle) {
+    return Unsupported("pass_prov: not a provenance-aware volume");
+  }
+};
+
+}  // namespace pass::os
+
+#endif  // SRC_OS_FILESYSTEM_H_

@@ -1,0 +1,67 @@
+#include "src/os/path.h"
+
+#include "src/util/strings.h"
+
+namespace pass::os {
+
+std::string NormalizePath(std::string_view path, std::string_view cwd) {
+  std::string full;
+  if (!path.empty() && path[0] == '/') {
+    full = std::string(path);
+  } else {
+    full = std::string(cwd.empty() ? "/" : cwd);
+    full += '/';
+    full += std::string(path);
+  }
+  std::vector<std::string> stack;
+  for (const std::string& piece : Split(full, '/')) {
+    if (piece.empty() || piece == ".") {
+      continue;
+    }
+    if (piece == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      continue;
+    }
+    stack.push_back(piece);
+  }
+  std::string out = "/";
+  out += Join(stack, "/");
+  return out;
+}
+
+std::vector<std::string> PathComponents(std::string_view path) {
+  std::vector<std::string> out;
+  for (const std::string& piece : Split(path, '/')) {
+    if (!piece.empty()) {
+      out.push_back(piece);
+    }
+  }
+  return out;
+}
+
+std::string DirName(std::string_view path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos || slash == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, slash));
+}
+
+std::string BaseName(std::string_view path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos) {
+    return std::string(path);
+  }
+  return std::string(path.substr(slash + 1));
+}
+
+std::string JoinPath(std::string_view dir, std::string_view leaf) {
+  if (dir.empty() || dir == "/") {
+    return "/" + std::string(leaf);
+  }
+  return std::string(dir) + "/" + std::string(leaf);
+}
+
+}  // namespace pass::os

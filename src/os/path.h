@@ -1,0 +1,26 @@
+#ifndef SRC_OS_PATH_H_
+#define SRC_OS_PATH_H_
+
+// Absolute-path utilities for the simulated VFS. All kernel paths are
+// absolute and normalized ("/a/b/c", no trailing slash except root).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pass::os {
+
+// Collapse "//", "." and ".." (lexically); result is absolute. A relative
+// input is interpreted against `cwd` ("/" if empty).
+std::string NormalizePath(std::string_view path, std::string_view cwd = "/");
+
+// Path components of a normalized absolute path ("/a/b" -> {"a","b"}).
+std::vector<std::string> PathComponents(std::string_view path);
+
+std::string DirName(std::string_view path);
+std::string BaseName(std::string_view path);
+std::string JoinPath(std::string_view dir, std::string_view leaf);
+
+}  // namespace pass::os
+
+#endif  // SRC_OS_PATH_H_

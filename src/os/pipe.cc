@@ -1,0 +1,17 @@
+#include "src/os/pipe.h"
+
+namespace pass::os {
+
+Result<size_t> PipeVnode::Read(uint64_t offset, size_t len, std::string* out) {
+  size_t take = len < buffer_.size() ? len : buffer_.size();
+  out->assign(buffer_, 0, take);
+  buffer_.erase(0, take);
+  return take;
+}
+
+Result<size_t> PipeVnode::Write(uint64_t offset, std::string_view data) {
+  buffer_.append(data);
+  return data.size();
+}
+
+}  // namespace pass::os

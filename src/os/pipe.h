@@ -1,0 +1,34 @@
+#ifndef SRC_OS_PIPE_H_
+#define SRC_OS_PIPE_H_
+
+// Anonymous pipe vnode: writes append, reads consume from the front. The
+// paper's observer tracks pipes as first-class (non-persistent) provenance
+// objects, so dependencies flow through shell pipelines.
+
+#include <string>
+
+#include "src/os/vnode.h"
+
+namespace pass::os {
+
+class PipeVnode : public Vnode {
+ public:
+  PipeVnode() = default;
+
+  VnodeType type() const override { return VnodeType::kPipe; }
+  Result<Attr> Getattr() override {
+    return Attr{VnodeType::kPipe, 0, buffer_.size(), 1};
+  }
+
+  Result<size_t> Read(uint64_t offset, size_t len, std::string* out) override;
+  Result<size_t> Write(uint64_t offset, std::string_view data) override;
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace pass::os
+
+#endif  // SRC_OS_PIPE_H_

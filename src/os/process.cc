@@ -1,0 +1,35 @@
+#include "src/os/process.h"
+
+#include "src/util/strings.h"
+
+namespace pass::os {
+
+Fd Process::InstallFd(OpenFileRef file) {
+  Fd fd = next_fd_++;
+  fds_[fd] = std::move(file);
+  return fd;
+}
+
+void Process::InstallFdAt(Fd fd, OpenFileRef file) {
+  fds_[fd] = std::move(file);
+  if (fd >= next_fd_) {
+    next_fd_ = fd + 1;
+  }
+}
+
+Result<OpenFileRef> Process::GetFd(Fd fd) const {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return BadFd(StrFormat("fd %d not open in pid %d", fd, pid_));
+  }
+  return it->second;
+}
+
+Status Process::CloseFd(Fd fd) {
+  if (fds_.erase(fd) == 0) {
+    return BadFd(StrFormat("fd %d not open in pid %d", fd, pid_));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pass::os

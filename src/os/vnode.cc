@@ -1,0 +1,47 @@
+#include "src/os/vnode.h"
+
+namespace pass::os {
+
+Result<size_t> Vnode::Read(uint64_t offset, size_t len, std::string* out) {
+  return Unsupported("Read not supported by this vnode");
+}
+
+Result<size_t> Vnode::Write(uint64_t offset, std::string_view data) {
+  return Unsupported("Write not supported by this vnode");
+}
+
+Status Vnode::Truncate(uint64_t length) {
+  return Unsupported("Truncate not supported by this vnode");
+}
+
+Result<VnodeRef> Vnode::Lookup(std::string_view name) {
+  return NotDir("Lookup on non-directory");
+}
+
+Result<VnodeRef> Vnode::Create(std::string_view name, VnodeType type) {
+  return NotDir("Create on non-directory");
+}
+
+Status Vnode::Unlink(std::string_view name) {
+  return NotDir("Unlink on non-directory");
+}
+
+Result<std::vector<Dirent>> Vnode::Readdir() {
+  return NotDir("Readdir on non-directory");
+}
+
+Result<PassReadInfo> Vnode::PassRead(uint64_t offset, size_t len,
+                                     std::string* out) {
+  return Unsupported("pass_read: not a provenance-aware vnode");
+}
+
+Result<size_t> Vnode::PassWrite(uint64_t offset, std::string_view data,
+                                const core::Bundle& bundle) {
+  return Unsupported("pass_write: not a provenance-aware vnode");
+}
+
+Result<core::Version> Vnode::PassFreeze() {
+  return Unsupported("pass_freeze: not a provenance-aware vnode");
+}
+
+}  // namespace pass::os

@@ -1,0 +1,91 @@
+#ifndef SRC_OS_VNODE_H_
+#define SRC_OS_VNODE_H_
+
+// VFS node interface. Base filesystems (src/fs) implement the plain VFS
+// operations; Lasagna (src/lasagna) additionally implements the DPAPI inode
+// operations (pass_read / pass_write / pass_freeze), exactly mirroring the
+// paper's split: "We implement pass_read, pass_write, pass_freeze as inode
+// operations and pass_mkobj and pass_reviveobj as superblock operations"
+// (§5.6).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/provenance.h"
+#include "src/util/result.h"
+
+namespace pass::os {
+
+enum class VnodeType : uint8_t {
+  kFile,
+  kDirectory,
+  kPipe,
+  kPhantom,  // pass_mkobj object: referenced like a file, no FS presence
+};
+
+using Ino = uint64_t;
+
+struct Attr {
+  VnodeType type = VnodeType::kFile;
+  Ino ino = 0;
+  uint64_t size = 0;
+  uint32_t nlink = 1;
+};
+
+struct Dirent {
+  std::string name;
+  VnodeType type;
+};
+
+// Result of a DPAPI pass_read: "the exact identity of what was read: the
+// file's pnode number and version as of the moment of the read" (§5.2).
+struct PassReadInfo {
+  core::ObjectRef source;
+  size_t bytes = 0;
+};
+
+class Vnode;
+using VnodeRef = std::shared_ptr<Vnode>;
+
+class Vnode {
+ public:
+  virtual ~Vnode() = default;
+
+  virtual VnodeType type() const = 0;
+  virtual Result<Attr> Getattr() = 0;
+
+  // ---- File operations --------------------------------------------------
+  virtual Result<size_t> Read(uint64_t offset, size_t len, std::string* out);
+  virtual Result<size_t> Write(uint64_t offset, std::string_view data);
+  virtual Status Truncate(uint64_t length);
+
+  // ---- Directory operations ---------------------------------------------
+  virtual Result<VnodeRef> Lookup(std::string_view name);
+  virtual Result<VnodeRef> Create(std::string_view name, VnodeType type);
+  virtual Status Unlink(std::string_view name);
+  virtual Result<std::vector<Dirent>> Readdir();
+
+  // ---- DPAPI inode operations (Lasagna only) -----------------------------
+  // Read returning data plus the (pnode, version) identity of what was read.
+  virtual Result<PassReadInfo> PassRead(uint64_t offset, size_t len,
+                                        std::string* out);
+  // Write data together with the provenance bundle that describes it. The
+  // provenance hits the log strictly before the data (WAP).
+  virtual Result<size_t> PassWrite(uint64_t offset, std::string_view data,
+                                   const core::Bundle& bundle);
+  // Break a cycle by starting a new version of this object.
+  virtual Result<core::Version> PassFreeze();
+
+  // The pnode of this vnode if it lives on a provenance-aware volume
+  // (kInvalidPnode otherwise).
+  virtual core::PnodeId pnode() const { return core::kInvalidPnode; }
+  // Current version of the object (0 for non-PASS vnodes).
+  virtual core::Version version() const { return 0; }
+};
+
+}  // namespace pass::os
+
+#endif  // SRC_OS_VNODE_H_

@@ -1,0 +1,100 @@
+#ifndef SRC_PQL_AST_H_
+#define SRC_PQL_AST_H_
+
+// PQL abstract syntax. The core shape follows the paper (§5.7):
+//
+//   select <outputs> from <path bindings> where <condition>
+//
+// Paths are first-class: each FROM item binds a variable to a path
+// expression (rooted at "Provenance.<set>" or at an earlier binding), and
+// path steps carry closure operators (*, +, ?) and an inverse marker (~)
+// for backwards edge traversal.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/pql/value.h"
+
+namespace pass::pql {
+
+struct Expr;
+struct Query;
+
+enum class Closure : uint8_t {
+  kOne,       // exactly one step
+  kStar,      // zero or more
+  kPlus,      // one or more
+  kOptional,  // zero or one
+};
+
+struct PathStep {
+  std::string name;  // link or (terminal) attribute name
+  bool inverse = false;
+  Closure closure = Closure::kOne;
+};
+
+struct PathExpr {
+  // Root: "Provenance" (root_set used) or a bound variable.
+  bool from_provenance = false;
+  std::string variable;  // when !from_provenance
+  std::string root_set;  // when from_provenance ("file", "object", ...)
+  std::vector<PathStep> steps;
+};
+
+enum class BinOp : uint8_t {
+  kAnd,
+  kOr,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kIn,
+};
+
+enum class Aggregate : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,
+    kPath,       // variable / attribute access / traversal
+    kBinary,
+    kNot,
+    kExists,     // exists(<expr>) — non-empty value set
+    kAggregate,  // count/sum/min/max/avg over expr or subquery
+    kSubquery,
+  };
+  Kind kind;
+  Value literal;
+  PathExpr path;
+  BinOp op = BinOp::kAnd;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+  Aggregate aggregate = Aggregate::kCount;
+  std::unique_ptr<Query> subquery;
+};
+
+struct SelectItem {
+  Expr expr;
+  std::string alias;  // display name
+};
+
+struct FromItem {
+  PathExpr path;
+  std::string variable;
+};
+
+struct Query {
+  std::vector<SelectItem> selects;
+  std::vector<FromItem> froms;
+  std::unique_ptr<Expr> where;
+  std::unique_ptr<Query> union_with;  // select ... union select ...
+};
+
+}  // namespace pass::pql
+
+#endif  // SRC_PQL_AST_H_

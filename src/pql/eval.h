@@ -1,0 +1,56 @@
+#ifndef SRC_PQL_EVAL_H_
+#define SRC_PQL_EVAL_H_
+
+// PQL evaluation (§5.7): path expressions bind variables over the object
+// graph; the where-clause filters binding tuples with Lorel-style
+// existential comparisons; select renders outputs. Closures (*, +, ?) are
+// BFS reachability; ~link traverses edges backwards.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/pql/ast.h"
+#include "src/pql/graph.h"
+#include "src/util/result.h"
+
+namespace pass::pql {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  // Render as an aligned text table; node values are labelled through the
+  // source ("/path/file [p12.v3]").
+  std::string ToTable(const GraphSource* source) const;
+  // Flatten all cells into one value set.
+  ValueSet Flatten() const;
+};
+
+struct EvalLimits {
+  size_t max_bindings = 1u << 20;
+  size_t max_closure_nodes = 1u << 20;
+};
+
+class Engine {
+ public:
+  explicit Engine(const GraphSource* source, EvalLimits limits = EvalLimits())
+      : source_(source), limits_(limits) {}
+
+  // Parse and evaluate a query.
+  Result<QueryResult> Run(std::string_view text) const;
+
+  // Evaluate a parsed query (used for subqueries and by tests).
+  Result<QueryResult> Evaluate(const Query& query) const;
+
+ private:
+  friend class Evaluator;
+  const GraphSource* source_;
+  EvalLimits limits_;
+};
+
+}  // namespace pass::pql
+
+#endif  // SRC_PQL_EVAL_H_

@@ -1,0 +1,42 @@
+#ifndef SRC_PQL_GRAPH_H_
+#define SRC_PQL_GRAPH_H_
+
+// The OEM-style graph PQL queries run over. Nodes are object versions;
+// `input` is the ancestry link (traversable in both directions — our Lorel
+// extension, §5.7); attributes come from provenance records.
+
+#include <string>
+#include <vector>
+
+#include "src/pql/value.h"
+
+namespace pass::pql {
+
+class GraphSource {
+ public:
+  virtual ~GraphSource() = default;
+
+  // Named root collections under "Provenance.": "object" (everything),
+  // "file", "process", "pipe", "session", "operator", "function", ... (by
+  // TYPE attribute, lowercased).
+  virtual std::vector<Node> RootSet(const std::string& name) const = 0;
+
+  // Attribute values of the *object* (all versions of the pnode). "name",
+  // "type", "pid", plus virtual attributes "pnode" and "version".
+  virtual ValueSet Attribute(const Node& node,
+                             const std::string& attr) const = 0;
+
+  // Follow a link from `node`. "input" = ancestors; inverse = descendants.
+  virtual std::vector<Node> Follow(const Node& node, const std::string& link,
+                                   bool inverse) const = 0;
+
+  // True if `name` is a link name rather than an attribute.
+  virtual bool IsLink(const std::string& name) const = 0;
+
+  // Human-readable label for result rendering.
+  virtual std::string NodeLabel(const Node& node) const = 0;
+};
+
+}  // namespace pass::pql
+
+#endif  // SRC_PQL_GRAPH_H_

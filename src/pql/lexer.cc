@@ -1,0 +1,277 @@
+#include "src/pql/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/util/strings.h"
+
+namespace pass::pql {
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"select", TokenKind::kSelect}, {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},   {"as", TokenKind::kAs},
+      {"and", TokenKind::kAnd},       {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},       {"in", TokenKind::kIn},
+      {"like", TokenKind::kLike},     {"union", TokenKind::kUnion},
+      {"true", TokenKind::kTrue},     {"false", TokenKind::kFalse},
+      {"count", TokenKind::kCount},   {"sum", TokenKind::kSum},
+      {"min", TokenKind::kMin},       {"max", TokenKind::kMax},
+      {"avg", TokenKind::kAvg},       {"exists", TokenKind::kExists},
+  };
+  return kKeywords;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kReal:
+      return "real";
+    case TokenKind::kSelect:
+      return "select";
+    case TokenKind::kFrom:
+      return "from";
+    case TokenKind::kWhere:
+      return "where";
+    case TokenKind::kAs:
+      return "as";
+    case TokenKind::kAnd:
+      return "and";
+    case TokenKind::kOr:
+      return "or";
+    case TokenKind::kNot:
+      return "not";
+    case TokenKind::kIn:
+      return "in";
+    case TokenKind::kLike:
+      return "like";
+    case TokenKind::kUnion:
+      return "union";
+    case TokenKind::kTrue:
+      return "true";
+    case TokenKind::kFalse:
+      return "false";
+    case TokenKind::kCount:
+      return "count";
+    case TokenKind::kSum:
+      return "sum";
+    case TokenKind::kMin:
+      return "min";
+    case TokenKind::kMax:
+      return "max";
+    case TokenKind::kAvg:
+      return "avg";
+    case TokenKind::kExists:
+      return "exists";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kQuestion:
+      return "?";
+    case TokenKind::kTilde:
+      return "~";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNeq:
+      return "!=";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kEnd:
+      return "<end>";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t at, std::string text = {}) {
+    tokens.push_back(Token{kind, std::move(text), 0, 0, at});
+  };
+  while (i < query.size()) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '-' && i + 1 < query.size() && query[i + 1] == '-') {
+      while (i < query.size() && query[i] != '\n') {
+        ++i;  // comment to end of line
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      while (i < query.size() &&
+             (std::isalnum(static_cast<unsigned char>(query[i])) != 0 ||
+              query[i] == '_')) {
+        ++i;
+      }
+      std::string word(query.substr(start, i - start));
+      auto it = Keywords().find(Lower(word));
+      if (it != Keywords().end()) {
+        push(it->second, start);
+      } else {
+        push(TokenKind::kIdent, start, std::move(word));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      bool real = false;
+      while (i < query.size() &&
+             (std::isdigit(static_cast<unsigned char>(query[i])) != 0 ||
+              query[i] == '.')) {
+        if (query[i] == '.') {
+          // Lookahead: "3.x" is number 3 then dot (path step), "3.5" real.
+          if (i + 1 < query.size() &&
+              std::isdigit(static_cast<unsigned char>(query[i + 1])) != 0) {
+            real = true;
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      std::string text(query.substr(start, i - start));
+      Token token{real ? TokenKind::kReal : TokenKind::kInt, text, 0, 0,
+                  start};
+      if (real) {
+        token.real_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < query.size()) {
+        if (query[i] == '\\' && i + 1 < query.size()) {
+          text.push_back(query[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (query[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(query[i++]);
+      }
+      if (!closed) {
+        return InvalidArgument(
+            StrFormat("unterminated string at offset %zu", start));
+      }
+      push(TokenKind::kString, start, std::move(text));
+      continue;
+    }
+    switch (c) {
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        break;
+      case '?':
+        push(TokenKind::kQuestion, start);
+        ++i;
+        break;
+      case '~':
+        push(TokenKind::kTilde, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < query.size() && query[i + 1] == '=') {
+          push(TokenKind::kNeq, start);
+          i += 2;
+        } else {
+          return InvalidArgument(
+              StrFormat("unexpected '!' at offset %zu", start));
+        }
+        break;
+      case '<':
+        if (i + 1 < query.size() && query[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < query.size() && query[i + 1] == '>') {
+          push(TokenKind::kNeq, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < query.size() && query[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, 0, query.size()});
+  return tokens;
+}
+
+}  // namespace pass::pql

@@ -1,0 +1,73 @@
+#ifndef SRC_PQL_LEXER_H_
+#define SRC_PQL_LEXER_H_
+
+// Tokenizer for PQL. Keywords are case-insensitive (SELECT/select); the
+// paper's sample queries use lowercase.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace pass::pql {
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kString,
+  kInt,
+  kReal,
+  // Keywords.
+  kSelect,
+  kFrom,
+  kWhere,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kLike,
+  kUnion,
+  kTrue,
+  kFalse,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kExists,
+  // Punctuation.
+  kDot,
+  kComma,
+  kStar,
+  kPlus,
+  kQuestion,
+  kTilde,
+  kLParen,
+  kRParen,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier / string payload
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t offset = 0;  // position in the query (for error messages)
+};
+
+// Tokenize the whole query. Fails with InvalidArgument on bad characters or
+// unterminated strings.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace pass::pql
+
+#endif  // SRC_PQL_LEXER_H_

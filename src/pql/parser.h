@@ -1,0 +1,18 @@
+#ifndef SRC_PQL_PARSER_H_
+#define SRC_PQL_PARSER_H_
+
+// Recursive-descent parser for PQL.
+
+#include <memory>
+#include <string_view>
+
+#include "src/pql/ast.h"
+#include "src/util/result.h"
+
+namespace pass::pql {
+
+Result<std::unique_ptr<Query>> ParseQuery(std::string_view text);
+
+}  // namespace pass::pql
+
+#endif  // SRC_PQL_PARSER_H_

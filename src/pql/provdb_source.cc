@@ -1,0 +1,124 @@
+#include "src/pql/provdb_source.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace pass::pql {
+namespace {
+
+// Attribute name (lowercase, query-side) for a record attr.
+std::string AttrQueryName(const core::Record& record) {
+  switch (record.attr) {
+    case core::Attr::kName:
+      return "name";
+    case core::Attr::kType:
+      return "type";
+    case core::Attr::kPid:
+      return "pid";
+    case core::Attr::kArgv:
+      return "argv";
+    case core::Attr::kEnv:
+      return "env";
+    case core::Attr::kFreeze:
+      return "freeze";
+    case core::Attr::kParams:
+      return "params";
+    case core::Attr::kVisitedUrl:
+      return "visited_url";
+    case core::Attr::kFileUrl:
+      return "file_url";
+    case core::Attr::kCurrentUrl:
+      return "current_url";
+    case core::Attr::kAnnotation:
+      return record.key;
+    default:
+      return std::string(core::AttrName(record.attr));
+  }
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Node ProvDbSource::Latest(core::PnodeId pnode) const {
+  auto versions = db_->VersionsOf(pnode);
+  core::Version latest = versions.empty() ? 0 : versions.back();
+  return Node{pnode, latest};
+}
+
+std::vector<Node> ProvDbSource::RootSet(const std::string& name) const {
+  std::vector<Node> out;
+  if (name == "object") {
+    for (core::PnodeId pnode : db_->AllPnodes()) {
+      out.push_back(Latest(pnode));
+    }
+    return out;
+  }
+  // Root sets are TYPE-based: file -> FILE, process -> PROC, etc.
+  std::string type;
+  if (name == "process") {
+    type = "PROC";
+  } else {
+    type = name;
+    for (char& c : type) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  for (core::PnodeId pnode : db_->PnodesByType(type)) {
+    out.push_back(Latest(pnode));
+  }
+  return out;
+}
+
+ValueSet ProvDbSource::Attribute(const Node& node,
+                                 const std::string& attr) const {
+  ValueSet out;
+  std::string want = Lower(attr);
+  if (want == "pnode") {
+    out.push_back(Value(static_cast<int64_t>(node.pnode)));
+    return out;
+  }
+  if (want == "version") {
+    out.push_back(Value(static_cast<int64_t>(node.version)));
+    return out;
+  }
+  // Object-level attributes: union across versions (NAME/TYPE are recorded
+  // once per object, ancestry is per version).
+  for (const core::Record& record : db_->RecordsOfAllVersions(node.pnode)) {
+    if (Lower(AttrQueryName(record)) == want) {
+      out.push_back(Value::FromRecordValue(record.value));
+    }
+  }
+  Normalize(&out);
+  return out;
+}
+
+std::vector<Node> ProvDbSource::Follow(const Node& node,
+                                       const std::string& link,
+                                       bool inverse) const {
+  if (link != "input") {
+    return {};
+  }
+  return inverse ? db_->Outputs(node) : db_->Inputs(node);
+}
+
+bool ProvDbSource::IsLink(const std::string& name) const {
+  return name == "input";
+}
+
+std::string ProvDbSource::NodeLabel(const Node& node) const {
+  std::string name = db_->NameOf(node.pnode);
+  if (name.empty()) {
+    auto types = Attribute(node, "type");
+    name = types.empty() ? "?" : types.front().ToString();
+  }
+  return StrFormat("%s [%s]", name.c_str(), node.ToString().c_str());
+}
+
+}  // namespace pass::pql

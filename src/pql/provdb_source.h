@@ -1,0 +1,34 @@
+#ifndef SRC_PQL_PROVDB_SOURCE_H_
+#define SRC_PQL_PROVDB_SOURCE_H_
+
+// GraphSource over Waldo's provenance database.
+
+#include <string>
+#include <vector>
+
+#include "src/pql/graph.h"
+#include "src/waldo/provdb.h"
+
+namespace pass::pql {
+
+class ProvDbSource : public GraphSource {
+ public:
+  explicit ProvDbSource(const waldo::ProvDb* db) : db_(db) {}
+
+  std::vector<Node> RootSet(const std::string& name) const override;
+  ValueSet Attribute(const Node& node, const std::string& attr) const override;
+  std::vector<Node> Follow(const Node& node, const std::string& link,
+                           bool inverse) const override;
+  bool IsLink(const std::string& name) const override;
+  std::string NodeLabel(const Node& node) const override;
+
+ private:
+  // Latest version node of a pnode.
+  Node Latest(core::PnodeId pnode) const;
+
+  const waldo::ProvDb* db_;
+};
+
+}  // namespace pass::pql
+
+#endif  // SRC_PQL_PROVDB_SOURCE_H_

@@ -1,0 +1,74 @@
+#include "src/pql/value.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace pass::pql {
+
+Value Value::FromRecordValue(const core::Value& v) {
+  struct Visitor {
+    Value operator()(std::monostate) const { return Value(); }
+    Value operator()(int64_t i) const { return Value(i); }
+    Value operator()(double d) const { return Value(d); }
+    Value operator()(bool b) const { return Value(b); }
+    Value operator()(const std::string& s) const { return Value(s); }
+    Value operator()(const core::ObjectRef& r) const { return Value(r); }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return AsReal() == other.AsReal();
+  }
+  if (rep_.index() != other.rep_.index()) {
+    return false;
+  }
+  return rep_ == other.rep_;
+}
+
+bool Value::Less(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return AsReal() < other.AsReal();
+  }
+  if (rep_.index() != other.rep_.index()) {
+    return rep_.index() < other.rep_.index();
+  }
+  if (is_string()) {
+    return AsString() < other.AsString();
+  }
+  if (is_node()) {
+    return AsNode() < other.AsNode();
+  }
+  if (is_bool()) {
+    return !AsBool() && other.AsBool();
+  }
+  return false;  // nil == nil
+}
+
+std::string Value::ToString() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "nil"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(int64_t i) const {
+      return StrFormat("%lld", static_cast<long long>(i));
+    }
+    std::string operator()(double d) const { return StrFormat("%g", d); }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const Node& n) const { return n.ToString(); }
+  };
+  return std::visit(Visitor{}, rep_);
+}
+
+void Normalize(ValueSet* values) {
+  std::sort(values->begin(), values->end(),
+            [](const Value& a, const Value& b) { return a.Less(b); });
+  values->erase(std::unique(values->begin(), values->end(),
+                            [](const Value& a, const Value& b) {
+                              return a.Equals(b);
+                            }),
+                values->end());
+}
+
+}  // namespace pass::pql

@@ -1,0 +1,67 @@
+#ifndef SRC_PQL_VALUE_H_
+#define SRC_PQL_VALUE_H_
+
+// The PQL value model (§5.7). PQL derives from Lorel over an OEM-style
+// object graph: query values are nil, booleans, integers, reals, strings,
+// or graph nodes (object versions). Expression results are *sets* of
+// values — Lorel comparisons are existential over them.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/core/provenance.h"
+
+namespace pass::pql {
+
+using Node = core::ObjectRef;
+
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(Node n) : rep_(n) {}
+
+  static Value FromRecordValue(const core::Value& v);
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_real() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_node() const { return std::holds_alternative<Node>(rep_); }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsReal() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(rep_))
+                    : std::get<double>(rep_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const Node& AsNode() const { return std::get<Node>(rep_); }
+
+  // Structural equality (int/real compare numerically).
+  bool Equals(const Value& other) const;
+  // Ordering for sorting / dedup; also used by < comparisons on numbers and
+  // strings.
+  bool Less(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, Node> rep_;
+};
+
+using ValueSet = std::vector<Value>;
+
+// Sort + dedup a value bag into set form.
+void Normalize(ValueSet* values);
+
+}  // namespace pass::pql
+
+#endif  // SRC_PQL_VALUE_H_

@@ -1,0 +1,32 @@
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+// Virtual time. Every cost in the system — CPU work in a workload, a disk
+// seek, an NFS round trip — advances this clock. Benchmarks report elapsed
+// virtual seconds, mirroring the elapsed wall-clock seconds of the paper's
+// Table 2.
+
+#include <cstdint>
+
+namespace pass::sim {
+
+using Nanos = uint64_t;
+
+constexpr Nanos kMicro = 1000ull;
+constexpr Nanos kMilli = 1000ull * kMicro;
+constexpr Nanos kSecond = 1000ull * kMilli;
+
+class Clock {
+ public:
+  Nanos now() const { return now_ns_; }
+  void Advance(Nanos ns) { now_ns_ += ns; }
+
+  double seconds() const { return static_cast<double>(now_ns_) / 1e9; }
+
+ private:
+  Nanos now_ns_ = 0;
+};
+
+}  // namespace pass::sim
+
+#endif  // SRC_SIM_CLOCK_H_

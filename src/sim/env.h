@@ -1,0 +1,33 @@
+#ifndef SRC_SIM_ENV_H_
+#define SRC_SIM_ENV_H_
+
+// Simulation environment: the single shared clock plus a seeded RNG. One Env
+// exists per simulated world (a "machine room"); every kernel, disk, and
+// network in that world shares it so costs compose into one elapsed time.
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+#include "src/util/rng.h"
+
+namespace pass::sim {
+
+class Env {
+ public:
+  explicit Env(uint64_t seed = 42) : rng_(seed) {}
+
+  Clock& clock() { return clock_; }
+  const Clock& clock() const { return clock_; }
+  Rng& rng() { return rng_; }
+
+  // Charge CPU work (workload computation, checksum, record marshalling).
+  void ChargeCpu(Nanos ns) { clock_.Advance(ns); }
+
+ private:
+  Clock clock_;
+  Rng rng_;
+};
+
+}  // namespace pass::sim
+
+#endif  // SRC_SIM_ENV_H_

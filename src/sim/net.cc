@@ -1,0 +1,16 @@
+#include "src/sim/net.h"
+
+namespace pass::sim {
+
+void Network::RoundTrip(uint64_t request_bytes, uint64_t response_bytes) {
+  Nanos cost = params_.rtt_ns;
+  cost += static_cast<Nanos>(params_.wire_ns_per_byte *
+                             static_cast<double>(request_bytes +
+                                                 response_bytes));
+  ++stats_.round_trips;
+  stats_.bytes_sent += request_bytes;
+  stats_.bytes_received += response_bytes;
+  clock_->Advance(cost);
+}
+
+}  // namespace pass::sim

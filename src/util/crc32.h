@@ -1,0 +1,19 @@
+#ifndef SRC_UTIL_CRC32_H_
+#define SRC_UTIL_CRC32_H_
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib CRC). Every record in the Lasagna
+// provenance log and every Waldo key-value segment entry is framed with a
+// CRC so recovery can find the valid prefix after a crash.
+
+#include <cstdint>
+#include <string_view>
+
+namespace pass {
+
+// One-shot CRC of `data`, seeded with `seed` (0 for a fresh CRC; pass a
+// previous result to continue a rolling CRC).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace pass
+
+#endif  // SRC_UTIL_CRC32_H_

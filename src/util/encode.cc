@@ -1,0 +1,103 @@
+#include "src/util/encode.h"
+
+#include <cstring>
+
+namespace pass {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutBytes(std::string* out, std::string_view v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  out->append(v.data(), v.size());
+}
+
+Result<std::string_view> Decoder::Take(size_t n) {
+  if (data_.size() - pos_ < n) {
+    return Corrupt("truncated input");
+  }
+  std::string_view piece = data_.substr(pos_, n);
+  pos_ += n;
+  return piece;
+}
+
+Result<uint8_t> Decoder::U8() {
+  PASS_ASSIGN_OR_RETURN(std::string_view piece, Take(1));
+  return static_cast<uint8_t>(piece[0]);
+}
+
+Result<uint16_t> Decoder::U16() {
+  PASS_ASSIGN_OR_RETURN(std::string_view piece, Take(2));
+  uint16_t v = 0;
+  for (int i = 1; i >= 0; --i) {
+    v = static_cast<uint16_t>((v << 8) | static_cast<uint8_t>(piece[i]));
+  }
+  return v;
+}
+
+Result<uint32_t> Decoder::U32() {
+  PASS_ASSIGN_OR_RETURN(std::string_view piece, Take(4));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(piece[i]);
+  }
+  return v;
+}
+
+Result<uint64_t> Decoder::U64() {
+  PASS_ASSIGN_OR_RETURN(std::string_view piece, Take(8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(piece[i]);
+  }
+  return v;
+}
+
+Result<int64_t> Decoder::I64() {
+  PASS_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Decoder::F64() {
+  PASS_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> Decoder::Bytes() {
+  PASS_ASSIGN_OR_RETURN(uint32_t len, U32());
+  PASS_ASSIGN_OR_RETURN(std::string_view piece, Take(len));
+  return std::string(piece);
+}
+
+}  // namespace pass

@@ -1,0 +1,54 @@
+#ifndef SRC_UTIL_ENCODE_H_
+#define SRC_UTIL_ENCODE_H_
+
+// Little-endian binary encoding primitives shared by the Lasagna log format,
+// the NFS wire format, and the Waldo segment format. All three formats are
+// built from the same fixed-width / length-prefixed pieces so recovery and
+// fuzz tests can share a decoder.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace pass {
+
+// Appenders.
+void PutU8(std::string* out, uint8_t v);
+void PutU16(std::string* out, uint16_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutF64(std::string* out, double v);
+// 32-bit length prefix followed by the raw bytes.
+void PutBytes(std::string* out, std::string_view v);
+
+// Cursor-based decoder. Returns Corrupt() when the input is truncated, so
+// log-recovery code can stop at the valid prefix.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> Bytes();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  Result<std::string_view> Take(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pass
+
+#endif  // SRC_UTIL_ENCODE_H_

@@ -1,0 +1,65 @@
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+// Minimal leveled logger. Quiet by default (benchmarks print their own
+// tables); tests may raise the level to debug a failure.
+
+#include <sstream>
+#include <string>
+
+namespace pass {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Process-global minimum level. Defaults to kWarning.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class LogMessageVoidify {
+ public:
+  // Lower precedence than << but higher than ?:, standard trick.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace pass
+
+#define PASS_LOG(severity)                                                   \
+  (::pass::GetLogLevel() > ::pass::LogLevel::k##severity)                    \
+      ? (void)0                                                              \
+      : ::pass::internal::LogMessageVoidify() &                              \
+            ::pass::internal::LogMessage(::pass::LogLevel::k##severity,      \
+                                         __FILE__, __LINE__)                 \
+                .stream()
+
+// Fatal invariant check; aborts with the message. Used for programmer errors
+// only, never for recoverable conditions (those return Status).
+#define PASS_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                       \
+         : ::pass::internal::CheckFail(#cond, __FILE__, __LINE__)
+
+namespace pass::internal {
+[[noreturn]] void CheckFail(const char* cond, const char* file, int line);
+}  // namespace pass::internal
+
+#endif  // SRC_UTIL_LOGGING_H_

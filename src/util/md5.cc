@@ -1,0 +1,157 @@
+#include "src/util/md5.h"
+
+#include <cstring>
+
+namespace pass {
+namespace {
+
+constexpr uint32_t kInit[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                               0x10325476u};
+
+// Per-round shift amounts (RFC 1321).
+constexpr uint8_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i+1))).
+constexpr uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+uint32_t RotateLeft(uint32_t x, uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Md5::Md5() : length_bits_(0), buffered_(0) {
+  std::memcpy(state_, kInit, sizeof(state_));
+}
+
+void Md5::ProcessBlock(const uint8_t* block) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<uint32_t>(block[i * 4]) |
+           static_cast<uint32_t>(block[i * 4 + 1]) << 8 |
+           static_cast<uint32_t>(block[i * 4 + 2]) << 16 |
+           static_cast<uint32_t>(block[i * 4 + 3]) << 24;
+  }
+
+  uint32_t a = state_[0];
+  uint32_t b = state_[1];
+  uint32_t c = state_[2];
+  uint32_t d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + RotateLeft(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  length_bits_ += static_cast<uint64_t>(len) * 8;
+
+  if (buffered_ > 0) {
+    size_t take = 64 - buffered_;
+    if (take > len) {
+      take = len;
+    }
+    std::memcpy(buffer_ + buffered_, bytes, take);
+    buffered_ += take;
+    bytes += take;
+    len -= take;
+    if (buffered_ == 64) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(bytes);
+    bytes += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, bytes, len);
+    buffered_ = len;
+  }
+}
+
+Md5Digest Md5::Finish() {
+  // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+  uint64_t length_bits = length_bits_;
+  uint8_t pad[72];
+  size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
+  for (int i = 0; i < 8; ++i) {
+    pad[pad_len + i] = static_cast<uint8_t>(length_bits >> (8 * i));
+  }
+  Update(pad, pad_len + 8);
+
+  Md5Digest out;
+  for (int i = 0; i < 4; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state_[i]);
+    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 8);
+    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 16);
+    out[i * 4 + 3] = static_cast<uint8_t>(state_[i] >> 24);
+  }
+  return out;
+}
+
+Md5Digest Md5::Hash(std::string_view data) {
+  Md5 md5;
+  md5.Update(data);
+  return md5.Finish();
+}
+
+std::string Md5::HexHash(std::string_view data) {
+  return Md5ToHex(Hash(data));
+}
+
+std::string Md5ToHex(const Md5Digest& digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace pass

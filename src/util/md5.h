@@ -1,0 +1,47 @@
+#ifndef SRC_UTIL_MD5_H_
+#define SRC_UTIL_MD5_H_
+
+// Self-contained MD5 (RFC 1321). Lasagna's write-ahead-provenance protocol
+// stores the MD5 of every data extent inside the ENDTXN record so that crash
+// recovery can identify data whose provenance is inconsistent (paper §5.6).
+//
+// MD5 is used here exactly as the paper uses it: as a content checksum, not
+// as a cryptographic primitive.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pass {
+
+using Md5Digest = std::array<uint8_t, 16>;
+
+class Md5 {
+ public:
+  Md5();
+
+  // Incremental interface.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view data) { Update(data.data(), data.size()); }
+  Md5Digest Finish();
+
+  // One-shot helpers.
+  static Md5Digest Hash(std::string_view data);
+  static std::string HexHash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t length_bits_;
+  uint8_t buffer_[64];
+  size_t buffered_;
+};
+
+// Lowercase hex rendering of a digest.
+std::string Md5ToHex(const Md5Digest& digest);
+
+}  // namespace pass
+
+#endif  // SRC_UTIL_MD5_H_

@@ -1,0 +1,64 @@
+#ifndef SRC_UTIL_RESULT_H_
+#define SRC_UTIL_RESULT_H_
+
+// Result<T>: a value or a Status. See src/util/status.h for the macros that
+// make this pleasant to use (PASS_ASSIGN_OR_RETURN).
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/util/status.h"
+
+namespace pass {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: `return value;` and `return SomeError(...);`
+  // both work at fallible call sites.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // value_or: convenience for tests and examples.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace pass
+
+#endif  // SRC_UTIL_RESULT_H_

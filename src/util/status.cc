@@ -1,0 +1,111 @@
+#include "src/util/status.h"
+
+namespace pass {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kExists:
+      return "Exists";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kBadFd:
+      return "BadFd";
+    case Code::kIsDir:
+      return "IsDir";
+    case Code::kNotDir:
+      return "NotDir";
+    case Code::kNotEmpty:
+      return "NotEmpty";
+    case Code::kNoSpace:
+      return "NoSpace";
+    case Code::kPermission:
+      return "Permission";
+    case Code::kIoError:
+      return "IoError";
+    case Code::kStale:
+      return "Stale";
+    case Code::kBusy:
+      return "Busy";
+    case Code::kCorrupt:
+      return "Corrupt";
+    case Code::kUnsupported:
+      return "Unsupported";
+    case Code::kUnavailable:
+      return "Unavailable";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status NotFound(std::string_view msg) {
+  return Status(Code::kNotFound, std::string(msg));
+}
+Status Exists(std::string_view msg) {
+  return Status(Code::kExists, std::string(msg));
+}
+Status InvalidArgument(std::string_view msg) {
+  return Status(Code::kInvalidArgument, std::string(msg));
+}
+Status BadFd(std::string_view msg) {
+  return Status(Code::kBadFd, std::string(msg));
+}
+Status IsDir(std::string_view msg) {
+  return Status(Code::kIsDir, std::string(msg));
+}
+Status NotDir(std::string_view msg) {
+  return Status(Code::kNotDir, std::string(msg));
+}
+Status NotEmpty(std::string_view msg) {
+  return Status(Code::kNotEmpty, std::string(msg));
+}
+Status NoSpace(std::string_view msg) {
+  return Status(Code::kNoSpace, std::string(msg));
+}
+Status Permission(std::string_view msg) {
+  return Status(Code::kPermission, std::string(msg));
+}
+Status IoError(std::string_view msg) {
+  return Status(Code::kIoError, std::string(msg));
+}
+Status Stale(std::string_view msg) {
+  return Status(Code::kStale, std::string(msg));
+}
+Status Busy(std::string_view msg) {
+  return Status(Code::kBusy, std::string(msg));
+}
+Status Corrupt(std::string_view msg) {
+  return Status(Code::kCorrupt, std::string(msg));
+}
+Status Unsupported(std::string_view msg) {
+  return Status(Code::kUnsupported, std::string(msg));
+}
+Status Unavailable(std::string_view msg) {
+  return Status(Code::kUnavailable, std::string(msg));
+}
+Status OutOfRange(std::string_view msg) {
+  return Status(Code::kOutOfRange, std::string(msg));
+}
+Status Internal(std::string_view msg) {
+  return Status(Code::kInternal, std::string(msg));
+}
+
+}  // namespace pass

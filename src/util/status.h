@@ -1,0 +1,105 @@
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+// Error handling for the PASSv2 reproduction.
+//
+// Kernel-style code cannot throw across module boundaries, so every fallible
+// operation returns a Status (or Result<T> for value-producing operations).
+// Codes deliberately mirror the errno values a Linux VFS layer would return,
+// since src/os models exactly that layer.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pass {
+
+enum class Code : uint8_t {
+  kOk = 0,
+  kNotFound,         // ENOENT
+  kExists,           // EEXIST
+  kInvalidArgument,  // EINVAL
+  kBadFd,            // EBADF
+  kIsDir,            // EISDIR
+  kNotDir,           // ENOTDIR
+  kNotEmpty,         // ENOTEMPTY
+  kNoSpace,          // ENOSPC
+  kPermission,       // EACCES
+  kIoError,          // EIO
+  kStale,            // ESTALE (NFS)
+  kBusy,             // EBUSY
+  kCorrupt,          // data failed integrity checks (WAP recovery)
+  kUnsupported,      // op not implemented by this vnode/filesystem
+  kUnavailable,      // transient failure (server down, crashed volume)
+  kOutOfRange,       // read/seek beyond bounds where that is an error
+  kInternal,         // invariant violation
+};
+
+// Human-readable name of a code ("NotFound", "IoError", ...).
+std::string_view CodeName(Code code);
+
+// A Status is either OK (no message) or an error code plus context message.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NotFound: /tmp/x does not exist" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+// Convenience constructors, used throughout: return NotFound("no such file");
+Status NotFound(std::string_view msg);
+Status Exists(std::string_view msg);
+Status InvalidArgument(std::string_view msg);
+Status BadFd(std::string_view msg);
+Status IsDir(std::string_view msg);
+Status NotDir(std::string_view msg);
+Status NotEmpty(std::string_view msg);
+Status NoSpace(std::string_view msg);
+Status Permission(std::string_view msg);
+Status IoError(std::string_view msg);
+Status Stale(std::string_view msg);
+Status Busy(std::string_view msg);
+Status Corrupt(std::string_view msg);
+Status Unsupported(std::string_view msg);
+Status Unavailable(std::string_view msg);
+Status OutOfRange(std::string_view msg);
+Status Internal(std::string_view msg);
+
+}  // namespace pass
+
+// Early-return helpers (the dominant control-flow idiom in this codebase).
+#define PASS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::pass::Status status_macro_tmp_ = (expr);      \
+    if (!status_macro_tmp_.ok()) {                  \
+      return status_macro_tmp_;                     \
+    }                                               \
+  } while (0)
+
+#define PASS_CONCAT_INNER_(a, b) a##b
+#define PASS_CONCAT_(a, b) PASS_CONCAT_INNER_(a, b)
+
+#define PASS_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto PASS_CONCAT_(result_tmp_, __LINE__) = (expr);              \
+  if (!PASS_CONCAT_(result_tmp_, __LINE__).ok()) {                \
+    return PASS_CONCAT_(result_tmp_, __LINE__).status();          \
+  }                                                               \
+  lhs = std::move(PASS_CONCAT_(result_tmp_, __LINE__)).value()
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+// Small string helpers used across the tree (path manipulation lives in
+// src/os/path.h; these are generic).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pass {
+
+// Split on a single character; empty pieces are kept ("a//b" -> "a","","b").
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count ("1.2 MB").
+std::string HumanBytes(uint64_t bytes);
+
+// Simple glob match supporting '*' and '?' (used by PQL `like`).
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace pass
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,81 @@
+#ifndef SRC_WALDO_KVSTORE_H_
+#define SRC_WALDO_KVSTORE_H_
+
+// Append-only key/value segment store — the storage engine under Waldo's
+// provenance database (the paper used Berkeley DB; this is a small
+// log-structured equivalent). Keys may repeat: Get returns every live value
+// in insertion order. Space accounting (Table 3) is the total size of the
+// live segment bytes, which is exactly what the serialized database would
+// occupy on disk.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace pass::waldo {
+
+struct KvStats {
+  uint64_t entries = 0;       // live entries
+  uint64_t tombstones = 0;
+  uint64_t segments = 0;
+  uint64_t bytes = 0;          // total segment bytes (live + dead)
+  uint64_t live_bytes = 0;     // bytes attributable to live entries
+  uint64_t compactions = 0;
+};
+
+class KvStore {
+ public:
+  explicit KvStore(uint64_t segment_bytes = 4u << 20)
+      : segment_bytes_(segment_bytes) {
+    segments_.emplace_back();
+  }
+
+  // Append a value under `key` (keys are multi-valued).
+  void Put(std::string_view key, std::string_view value);
+
+  // All live values for `key`, oldest first.
+  std::vector<std::string> Get(std::string_view key) const;
+  bool Contains(std::string_view key) const;
+
+  // Remove all values for `key` (tombstone; space reclaimed by Compact).
+  void Delete(std::string_view key);
+
+  // Visit every live (key, value) whose key starts with `prefix`, in key
+  // order.
+  void Scan(std::string_view prefix,
+            const std::function<void(std::string_view key,
+                                     std::string_view value)>& fn) const;
+
+  // Rewrite segments dropping dead entries. Returns bytes reclaimed.
+  uint64_t Compact();
+
+  // Serialize the whole store (segment stream) / rebuild from it. Used to
+  // prove the store is genuinely recoverable, and by tests.
+  std::string Serialize() const;
+  static Result<KvStore> Deserialize(std::string_view image);
+
+  KvStats stats() const;
+
+ private:
+  void AppendEntry(std::string_view key, std::string_view value,
+                   bool tombstone);
+
+  uint64_t segment_bytes_;
+  std::vector<std::string> segments_;
+  // Live index: key -> values (the in-memory read path).
+  std::map<std::string, std::vector<std::string>, std::less<>> index_;
+  uint64_t live_bytes_ = 0;
+  uint64_t dead_bytes_ = 0;
+  uint64_t entries_ = 0;
+  uint64_t tombstones_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace pass::waldo
+
+#endif  // SRC_WALDO_KVSTORE_H_

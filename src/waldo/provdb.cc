@@ -1,0 +1,136 @@
+#include "src/waldo/provdb.h"
+
+#include "src/util/strings.h"
+
+namespace pass::waldo {
+namespace {
+
+std::string RefKey(char prefix, const core::ObjectRef& ref) {
+  return StrFormat("%c/%016llx/%08x", prefix,
+                   static_cast<unsigned long long>(ref.pnode), ref.version);
+}
+
+std::string EncodeRef(const core::ObjectRef& ref) {
+  std::string out;
+  core::EncodeObjectRef(&out, ref);
+  return out;
+}
+
+}  // namespace
+
+void ProvDb::Insert(const lasagna::LogEntry& entry) {
+  const core::ObjectRef& subject = entry.subject;
+  const core::Record& record = entry.record;
+
+  versions_[subject.pnode].insert(subject.version);
+
+  if (record.attr == core::Attr::kInput) {
+    const auto* ancestor = std::get_if<core::ObjectRef>(&record.value);
+    if (ancestor == nullptr) {
+      return;
+    }
+    inputs_[subject].push_back(*ancestor);
+    outputs_[*ancestor].push_back(subject);
+    versions_[ancestor->pnode].insert(ancestor->version);
+    indexes_.Put(RefKey('i', subject), EncodeRef(*ancestor));
+    indexes_.Put(RefKey('o', *ancestor), EncodeRef(subject));
+    ++edge_count_;
+    return;
+  }
+
+  // Attribute record.
+  std::string encoded;
+  core::EncodeRecord(&encoded, record);
+  records_.Put(RefKey('r', subject), encoded);
+  attrs_[subject].push_back(record);
+  ++record_count_;
+
+  if (record.attr == core::Attr::kName) {
+    if (const auto* name = std::get_if<std::string>(&record.value)) {
+      by_name_[*name].insert(subject.pnode);
+      names_[subject.pnode] = *name;
+      indexes_.Put("n/" + *name, EncodeRef(subject));
+    }
+  } else if (record.attr == core::Attr::kType) {
+    if (const auto* type = std::get_if<std::string>(&record.value)) {
+      by_type_[*type].insert(subject.pnode);
+      indexes_.Put("t/" + *type, EncodeRef(subject));
+    }
+  }
+}
+
+std::vector<core::Record> ProvDb::RecordsOf(const core::ObjectRef& ref) const {
+  auto it = attrs_.find(ref);
+  return it == attrs_.end() ? std::vector<core::Record>() : it->second;
+}
+
+std::vector<core::Record> ProvDb::RecordsOfAllVersions(
+    core::PnodeId pnode) const {
+  std::vector<core::Record> out;
+  for (core::Version version : VersionsOf(pnode)) {
+    auto records = RecordsOf(core::ObjectRef{pnode, version});
+    out.insert(out.end(), records.begin(), records.end());
+  }
+  return out;
+}
+
+std::vector<core::ObjectRef> ProvDb::Inputs(const core::ObjectRef& ref) const {
+  auto it = inputs_.find(ref);
+  return it == inputs_.end() ? std::vector<core::ObjectRef>() : it->second;
+}
+
+std::vector<core::ObjectRef> ProvDb::Outputs(
+    const core::ObjectRef& ref) const {
+  auto it = outputs_.find(ref);
+  return it == outputs_.end() ? std::vector<core::ObjectRef>() : it->second;
+}
+
+std::vector<core::Version> ProvDb::VersionsOf(core::PnodeId pnode) const {
+  auto it = versions_.find(pnode);
+  if (it == versions_.end()) {
+    return {};
+  }
+  return std::vector<core::Version>(it->second.begin(), it->second.end());
+}
+
+std::vector<core::PnodeId> ProvDb::PnodesByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return {};
+  }
+  return std::vector<core::PnodeId>(it->second.begin(), it->second.end());
+}
+
+std::vector<core::PnodeId> ProvDb::PnodesByType(std::string_view type) const {
+  auto it = by_type_.find(std::string(type));
+  if (it == by_type_.end()) {
+    return {};
+  }
+  return std::vector<core::PnodeId>(it->second.begin(), it->second.end());
+}
+
+std::string ProvDb::NameOf(core::PnodeId pnode) const {
+  auto it = names_.find(pnode);
+  return it == names_.end() ? std::string() : it->second;
+}
+
+std::vector<core::PnodeId> ProvDb::AllPnodes() const {
+  std::vector<core::PnodeId> out;
+  out.reserve(versions_.size());
+  for (const auto& [pnode, unused] : versions_) {
+    out.push_back(pnode);
+  }
+  return out;
+}
+
+ProvDbStats ProvDb::stats() const {
+  ProvDbStats stats;
+  stats.records = record_count_;
+  stats.edges = edge_count_;
+  stats.objects = versions_.size();
+  stats.db_bytes = records_.stats().bytes;
+  stats.index_bytes = indexes_.stats().bytes;
+  return stats;
+}
+
+}  // namespace pass::waldo

@@ -1,0 +1,86 @@
+#ifndef SRC_WALDO_PROVDB_H_
+#define SRC_WALDO_PROVDB_H_
+
+// The provenance database Waldo maintains (§5.6): records move from the
+// Lasagna log into an indexed store that the query engine (PQL) reads.
+//
+// Layout (two KvStores so Table 3 can report "provenance" and
+// "provenance + indexes" separately, like the paper):
+//
+//   records store:  r/<pnode>/<version> -> encoded Record
+//   index store:    n/<name>            -> pnode            (NAME records)
+//                   t/<type>            -> pnode            (TYPE records)
+//                   i/<pnode>/<version> -> encoded ancestor (INPUT edges)
+//                   o/<pnode>/<version> -> encoded child    (reverse edges)
+//
+// Fast in-memory mirrors back the query API; the KvStores are the
+// persistent representation (round-trip tested).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/provenance.h"
+#include "src/lasagna/log_format.h"
+#include "src/waldo/kvstore.h"
+
+namespace pass::waldo {
+
+struct ProvDbStats {
+  uint64_t records = 0;
+  uint64_t edges = 0;
+  uint64_t objects = 0;
+  uint64_t db_bytes = 0;     // records store
+  uint64_t index_bytes = 0;  // index store
+};
+
+class ProvDb {
+ public:
+  ProvDb() = default;
+
+  // Ingest one recovered/parsed log entry.
+  void Insert(const lasagna::LogEntry& entry);
+
+  // ---- Query surface (used by the PQL adapter) ----------------------------
+  // Attribute records of one object version (INPUT edges excluded).
+  std::vector<core::Record> RecordsOf(const core::ObjectRef& ref) const;
+  // All records across every version (attributes of "the object").
+  std::vector<core::Record> RecordsOfAllVersions(core::PnodeId pnode) const;
+  // Direct ancestors of one object version.
+  std::vector<core::ObjectRef> Inputs(const core::ObjectRef& ref) const;
+  // Objects that list `ref` as an ancestor (reverse edges).
+  std::vector<core::ObjectRef> Outputs(const core::ObjectRef& ref) const;
+  // Known versions of a pnode (ascending).
+  std::vector<core::Version> VersionsOf(core::PnodeId pnode) const;
+  // Lookup by NAME / TYPE attribute.
+  std::vector<core::PnodeId> PnodesByName(std::string_view name) const;
+  std::vector<core::PnodeId> PnodesByType(std::string_view type) const;
+  // Latest known name of an object (for rendering query results).
+  std::string NameOf(core::PnodeId pnode) const;
+  std::vector<core::PnodeId> AllPnodes() const;
+
+  ProvDbStats stats() const;
+
+  const KvStore& record_store() const { return records_; }
+  const KvStore& index_store() const { return indexes_; }
+
+ private:
+  KvStore records_{/*segment_bytes=*/4u << 20};
+  KvStore indexes_{/*segment_bytes=*/4u << 20};
+
+  // In-memory mirrors.
+  std::map<core::ObjectRef, std::vector<core::Record>> attrs_;
+  std::map<core::ObjectRef, std::vector<core::ObjectRef>> inputs_;
+  std::map<core::ObjectRef, std::vector<core::ObjectRef>> outputs_;
+  std::map<core::PnodeId, std::set<core::Version>> versions_;
+  std::map<std::string, std::set<core::PnodeId>> by_name_;
+  std::map<std::string, std::set<core::PnodeId>> by_type_;
+  std::map<core::PnodeId, std::string> names_;
+  uint64_t record_count_ = 0;
+  uint64_t edge_count_ = 0;
+};
+
+}  // namespace pass::waldo
+
+#endif  // SRC_WALDO_PROVDB_H_

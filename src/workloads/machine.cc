@@ -1,0 +1,87 @@
+#include "src/workloads/machine.h"
+
+#include "src/util/logging.h"
+
+namespace pass::workloads {
+namespace {
+
+// Disk layout: journal | provenance log zone | data.
+constexpr uint64_t kJournalZoneBytes = 128ull << 20;
+constexpr uint64_t kLogZoneBytes = 4ull << 30;
+
+}  // namespace
+
+Machine::Machine(MachineOptions options)
+    : options_(options),
+      owned_env_(options.shared_env == nullptr
+                     ? std::make_unique<sim::Env>(options.seed)
+                     : nullptr),
+      env_(options.shared_env != nullptr ? options.shared_env
+                                         : owned_env_.get()),
+      disk_(&env_->clock(), options.disk_params),
+      allocator_(options.shard) {
+  uint64_t capacity = options.disk_params.capacity_bytes;
+  sim::DiskZone journal_zone(0, kJournalZoneBytes);
+  sim::DiskZone log_zone(kJournalZoneBytes, kLogZoneBytes);
+  sim::DiskZone data_zone(kJournalZoneBytes + kLogZoneBytes,
+                          capacity - kJournalZoneBytes - kLogZoneBytes);
+
+  fs::MemFsOptions fs_options;
+  fs_options.name = "ext3";
+  fs_options.enable_trace = options.enable_fs_trace;
+  fs_options.special_zone_prefix =
+      options.lasagna_options.log_dir;  // log appends live in their own zone
+  basefs_ = std::make_unique<fs::MemFs>(env_, &disk_, data_zone, journal_zone,
+                                        log_zone, fs_options);
+
+  kernel_ = std::make_unique<os::Kernel>(env_);
+
+  if (options.root_fs != nullptr) {
+    PASS_CHECK(kernel_->Mount("/", options.root_fs).ok());
+    if (options.with_pass) {
+      core::PassSystemOptions pass_options;
+      pass_options.shard = options.shard;
+      pass_options.cycle_algorithm = options.cycle_algorithm;
+      pass_options.allocator = &allocator_;
+      pass_ = std::make_unique<core::PassSystem>(env_, kernel_.get(),
+                                                 pass_options);
+      if (options.root_fs->provenance_capable()) {
+        pass_->AttachVolume(options.root_fs);
+      }
+    }
+    return;
+  }
+
+  if (!options.with_pass) {
+    PASS_CHECK(kernel_->Mount("/", basefs_.get()).ok());
+    return;
+  }
+
+  volume_ = std::make_unique<lasagna::LasagnaFs>(
+      env_, basefs_.get(), &allocator_, options.lasagna_options);
+  PASS_CHECK(kernel_->Mount("/", volume_.get()).ok());
+
+  core::PassSystemOptions pass_options;
+  pass_options.shard = options.shard;
+  pass_options.cycle_algorithm = options.cycle_algorithm;
+  pass_options.allocator = &allocator_;
+  pass_ = std::make_unique<core::PassSystem>(env_, kernel_.get(),
+                                             pass_options);
+  pass_->AttachVolume(volume_.get());
+
+  db_ = std::make_unique<waldo::ProvDb>();
+  waldo_ = std::make_unique<waldo::Waldo>(db_.get());
+  waldo_->AddVolume(volume_.get());
+}
+
+os::FileSystem* Machine::rootfs() {
+  if (options_.root_fs != nullptr) {
+    return options_.root_fs;
+  }
+  if (volume_ != nullptr) {
+    return volume_.get();
+  }
+  return basefs_.get();
+}
+
+}  // namespace pass::workloads

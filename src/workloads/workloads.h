@@ -1,0 +1,85 @@
+#ifndef SRC_WORKLOADS_WORKLOADS_H_
+#define SRC_WORKLOADS_WORKLOADS_H_
+
+// The five workloads of the paper's evaluation (§7), re-implemented at
+// syscall level against the simulated kernel:
+//
+//   1. Linux compile   — unpack + build a kernel tree (CPU intensive, many
+//                        small files and processes)
+//   2. Postmark        — mail-server transaction mix (I/O intensive)
+//   3. Mercurial       — apply a patch queue: temp file, merge, rename
+//                        (metadata-operation heavy; the overhead champion)
+//   4. Blast           — protein-sequence pipeline: formatdb, blast, Perl
+//                        massaging through a pipe (heavily CPU bound)
+//   5. PA-Kepler       — the tabular parse/extract/reformat workflow, with
+//                        the PASS recorder when the machine runs PASSv2
+//
+// Scale factors default to ~1/100 of the paper's data sizes so the full
+// Table 2 + Table 3 sweep runs in seconds of host time; the *shape* of the
+// results is preserved because the syscall mix is.
+
+#include <string>
+
+#include "src/workloads/machine.h"
+
+namespace pass::workloads {
+
+struct WorkloadReport {
+  std::string name;
+  double elapsed_seconds = 0;
+  uint64_t data_bytes = 0;  // live file bytes the workload left behind
+};
+
+struct CompileParams {
+  int source_files = 400;
+  size_t source_bytes = 8 * 1024;
+  size_t object_bytes = 12 * 1024;
+  int headers = 24;
+  sim::Nanos cpu_per_unit = 18 * sim::kMilli;
+};
+
+struct PostmarkParams {
+  int initial_files = 150;
+  int transactions = 600;
+  int subdirectories = 10;
+  size_t min_size = 16 * 1024;
+  size_t max_size = 192 * 1024;
+};
+
+struct MercurialParams {
+  int tracked_files = 120;
+  size_t file_bytes = 128 * 1024;
+  int patches = 120;
+  size_t hunk_bytes = 2 * 1024;
+};
+
+struct BlastParams {
+  size_t sequence_bytes = 512 * 1024;
+  sim::Nanos format_cpu = 2 * sim::kSecond;
+  sim::Nanos blast_cpu = 50 * sim::kSecond;
+  sim::Nanos perl_cpu = 4 * sim::kSecond;
+};
+
+struct KeplerParams {
+  size_t rows = 60000;
+  size_t cols = 6;
+  sim::Nanos startup_cpu = 40 * sim::kSecond;  // JVM + workflow startup
+};
+
+// Each runs the workload on `machine` and returns elapsed time + data size.
+WorkloadReport RunLinuxCompile(Machine* machine,
+                               CompileParams params = CompileParams());
+WorkloadReport RunPostmark(Machine* machine,
+                           PostmarkParams params = PostmarkParams());
+WorkloadReport RunMercurial(Machine* machine,
+                            MercurialParams params = MercurialParams());
+WorkloadReport RunBlast(Machine* machine, BlastParams params = BlastParams());
+WorkloadReport RunPaKepler(Machine* machine,
+                           KeplerParams params = KeplerParams());
+
+// Run by name ("compile", "postmark", "mercurial", "blast", "kepler").
+WorkloadReport RunWorkload(const std::string& name, Machine* machine);
+
+}  // namespace pass::workloads
+
+#endif  // SRC_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,221 @@
+// Tests for PA-links (§6.3 / §3.2): session provenance, downloads with
+// URL records, attribution after rename, and the malware-source scenario.
+
+#include <gtest/gtest.h>
+
+#include "src/browser/browser.h"
+#include "src/workloads/machine.h"
+
+namespace pass::browser {
+namespace {
+
+using workloads::Machine;
+using workloads::MachineOptions;
+
+class BrowserTest : public ::testing::Test {
+ protected:
+  BrowserTest()
+      : machine_([] {
+          MachineOptions options;
+          options.with_pass = true;
+          return options;
+        }()) {
+    web_.AddPage("http://news.example/", "<html>news</html>",
+                 {"http://news.example/science"});
+    web_.AddPage("http://news.example/science", "<html>science</html>");
+    web_.AddRedirect("http://short.ly/x", "http://lab.example/data");
+    web_.AddPage("http://lab.example/data", "<html>dataset index</html>");
+    web_.AddDownload("http://lab.example/quotes.txt", "E = mc^2");
+    web_.AddDownload("http://codecs.example/codec.bin", "CODEC-v1");
+    pid_ = machine_.Spawn("links");
+  }
+
+  core::Record FindRecord(core::PnodeId pnode, core::Attr attr) {
+    for (const core::Record& record :
+         machine_.db()->RecordsOfAllVersions(pnode)) {
+      if (record.attr == attr) {
+        return record;
+      }
+    }
+    return core::Record{};
+  }
+
+  Machine machine_;
+  SimWeb web_;
+  os::Pid pid_;
+};
+
+TEST_F(BrowserTest, VisitRecordsSessionUrls) {
+  Browser browser(&machine_.kernel(), pid_, machine_.Lib(pid_), &web_);
+  ASSERT_TRUE(browser.OpenSession().ok());
+  ASSERT_TRUE(browser.Visit("http://news.example/").ok());
+  ASSERT_TRUE(browser.Visit("http://news.example/science").ok());
+  ASSERT_TRUE(browser.SyncSession().ok());
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+
+  auto sessions = machine_.db()->PnodesByType("SESSION");
+  ASSERT_EQ(sessions.size(), 1u);
+  size_t visited = 0;
+  for (const core::Record& record :
+       machine_.db()->RecordsOfAllVersions(sessions[0])) {
+    if (record.attr == core::Attr::kVisitedUrl) {
+      ++visited;
+    }
+  }
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST_F(BrowserTest, RedirectsAreRecordedHopByHop) {
+  Browser browser(&machine_.kernel(), pid_, machine_.Lib(pid_), &web_);
+  ASSERT_TRUE(browser.OpenSession().ok());
+  auto content = browser.Visit("http://short.ly/x");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(browser.current_url(), "http://lab.example/data");
+  EXPECT_EQ(browser.stats().redirects_followed, 1u);
+  EXPECT_EQ(browser.history().size(), 2u);  // both hops in the session
+}
+
+TEST_F(BrowserTest, DownloadCarriesThreeRecordTypes) {
+  Browser browser(&machine_.kernel(), pid_, machine_.Lib(pid_), &web_);
+  ASSERT_TRUE(browser.OpenSession().ok());
+  ASSERT_TRUE(browser.Visit("http://lab.example/data").ok());
+  ASSERT_TRUE(machine_.kernel().Mkdir(pid_, "/home").ok());
+  ASSERT_TRUE(
+      browser.Download("http://lab.example/quotes.txt", "/home/quote.txt")
+          .ok());
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+
+  auto files = machine_.db()->PnodesByName("/home/quote.txt");
+  ASSERT_EQ(files.size(), 1u);
+  core::Record file_url = FindRecord(files[0], core::Attr::kFileUrl);
+  EXPECT_EQ(std::get<std::string>(file_url.value),
+            "http://lab.example/quotes.txt");
+  core::Record current_url = FindRecord(files[0], core::Attr::kCurrentUrl);
+  EXPECT_EQ(std::get<std::string>(current_url.value),
+            "http://lab.example/data");
+  // INPUT edge to the session.
+  auto sessions = machine_.db()->PnodesByType("SESSION");
+  ASSERT_EQ(sessions.size(), 1u);
+  bool linked = false;
+  for (core::Version v : machine_.db()->VersionsOf(files[0])) {
+    for (const core::ObjectRef& input :
+         machine_.db()->Inputs({files[0], v})) {
+      if (input.pnode == sessions[0]) {
+        linked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(linked);
+}
+
+TEST_F(BrowserTest, AttributionSurvivesRenameAndHistoryLoss) {
+  // §3.2: the professor copies the file, clears her history; the browser
+  // has forgotten but PASSv2 has not.
+  Browser browser(&machine_.kernel(), pid_, machine_.Lib(pid_), &web_);
+  ASSERT_TRUE(browser.OpenSession().ok());
+  ASSERT_TRUE(browser.Visit("http://lab.example/data").ok());
+  ASSERT_TRUE(machine_.kernel().Mkdir(pid_, "/dl").ok());
+  ASSERT_TRUE(
+      browser.Download("http://lab.example/quotes.txt", "/dl/quote.txt")
+          .ok());
+  browser.ClearHistory();
+  EXPECT_TRUE(browser.history().empty());
+
+  ASSERT_TRUE(machine_.kernel().Mkdir(pid_, "/talk").ok());
+  ASSERT_TRUE(
+      machine_.kernel().Rename(pid_, "/dl/quote.txt", "/talk/quote.txt").ok());
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+
+  // Same pnode, new name; FILE_URL still answers the attribution question.
+  auto files = machine_.db()->PnodesByName("/talk/quote.txt");
+  ASSERT_EQ(files.size(), 1u);
+  core::Record url = FindRecord(files[0], core::Attr::kFileUrl);
+  EXPECT_EQ(std::get<std::string>(url.value),
+            "http://lab.example/quotes.txt");
+}
+
+TEST_F(BrowserTest, MalwareSourceAndSpreadAreTraceable) {
+  // §3.2: Eve hacks the codec site; Alice downloads and runs it; the
+  // malware infects other files. Layered provenance answers both "where
+  // from" and "what did it touch".
+  web_.ReplaceContent("http://codecs.example/codec.bin", "CODEC-v1+MALWARE");
+  Browser browser(&machine_.kernel(), pid_, machine_.Lib(pid_), &web_);
+  ASSERT_TRUE(browser.OpenSession().ok());
+  ASSERT_TRUE(browser.Visit("http://news.example/").ok());
+  ASSERT_TRUE(machine_.kernel().Mkdir(pid_, "/bin").ok());
+  ASSERT_TRUE(
+      browser.Download("http://codecs.example/codec.bin", "/bin/codec").ok());
+
+  // Alice runs the codec; it infects another binary.
+  os::Pid infected = machine_.Spawn("codec");
+  ASSERT_TRUE(machine_.kernel().Exec(infected, "/bin/codec", {"codec"}).ok());
+  auto payload = machine_.kernel().ReadFile(infected, "/bin/codec");
+  ASSERT_TRUE(payload.ok());
+  ASSERT_TRUE(
+      machine_.kernel().WriteFile(infected, "/bin/ls", "ls+" + *payload).ok());
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+
+  // Backwards: /bin/ls descends from the codec file, which carries the URL.
+  auto ls = machine_.db()->PnodesByName("/bin/ls");
+  auto codec = machine_.db()->PnodesByName("/bin/codec");
+  ASSERT_EQ(ls.size(), 1u);
+  ASSERT_EQ(codec.size(), 1u);
+  std::set<core::ObjectRef> seen;
+  std::vector<core::ObjectRef> stack;
+  for (core::Version v : machine_.db()->VersionsOf(ls[0])) {
+    stack.push_back({ls[0], v});
+  }
+  bool descends_from_codec = false;
+  while (!stack.empty()) {
+    core::ObjectRef ref = stack.back();
+    stack.pop_back();
+    if (!seen.insert(ref).second) {
+      continue;
+    }
+    if (ref.pnode == codec[0]) {
+      descends_from_codec = true;
+    }
+    for (const core::ObjectRef& input : machine_.db()->Inputs(ref)) {
+      stack.push_back(input);
+    }
+  }
+  EXPECT_TRUE(descends_from_codec);
+  core::Record url = FindRecord(codec[0], core::Attr::kFileUrl);
+  EXPECT_EQ(std::get<std::string>(url.value),
+            "http://codecs.example/codec.bin");
+}
+
+TEST_F(BrowserTest, SessionRestoreViaReviveObj) {
+  Browser browser(&machine_.kernel(), pid_, machine_.Lib(pid_), &web_);
+  ASSERT_TRUE(browser.OpenSession().ok());
+  ASSERT_TRUE(browser.Visit("http://news.example/").ok());
+  auto ref = browser.SessionRef();
+  ASSERT_TRUE(ref.ok());
+
+  os::Pid pid2 = machine_.Spawn("links-restarted");
+  Browser restarted(&machine_.kernel(), pid2, machine_.Lib(pid2), &web_);
+  ASSERT_TRUE(restarted.RestoreSession(ref->pnode, ref->version).ok());
+  ASSERT_TRUE(restarted.Visit("http://news.example/science").ok());
+  ASSERT_TRUE(restarted.SyncSession().ok());
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+
+  // Both visits hang off the same session object.
+  size_t visited = 0;
+  for (const core::Record& record :
+       machine_.db()->RecordsOfAllVersions(ref->pnode)) {
+    if (record.attr == core::Attr::kVisitedUrl) {
+      ++visited;
+    }
+  }
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST_F(BrowserTest, FetchFailuresSurface) {
+  Browser browser(&machine_.kernel(), pid_, machine_.Lib(pid_), &web_);
+  ASSERT_TRUE(browser.OpenSession().ok());
+  EXPECT_FALSE(browser.Visit("http://nowhere.example/").ok());
+  EXPECT_FALSE(browser.Download("http://nowhere.example/f", "/f").ok());
+}
+
+}  // namespace
+}  // namespace pass::browser

@@ -1,0 +1,219 @@
+// Tests for PA-Kepler (§6.2): engine semantics, the three recorders, the
+// Provenance Challenge workflow, and the §3.1 anomaly scenario — without
+// layering Kepler cannot see a changed input; with PASSv2 underneath the
+// full chain is visible.
+
+#include <gtest/gtest.h>
+
+#include "src/kepler/challenge.h"
+#include "src/kepler/kepler.h"
+#include "src/util/strings.h"
+#include "src/workloads/machine.h"
+
+namespace pass::kepler {
+namespace {
+
+using workloads::Machine;
+using workloads::MachineOptions;
+
+MachineOptions WithPass() {
+  MachineOptions options;
+  options.with_pass = true;
+  return options;
+}
+
+TEST(KeplerEngineTest, LinearPipelineMovesTokens) {
+  Machine machine;  // vanilla
+  os::Pid pid = machine.Spawn("kepler");
+  ASSERT_TRUE(machine.kernel().WriteFile(pid, "/in.txt", "payload").ok());
+
+  KeplerEngine engine(&machine.kernel(), pid, nullptr);
+  auto* source = engine.Add(std::make_unique<FileSourceOp>("src", "/in.txt"));
+  auto* upper = engine.Add(std::make_unique<TransformOp>(
+      "upper", "OPERATOR", [](const std::string& in) {
+        std::string out = in;
+        for (char& c : out) {
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+        return out;
+      }));
+  auto* sink = engine.Add(std::make_unique<FileSinkOp>("sink", "/out.txt"));
+  engine.Connect(source, "out", upper, "in");
+  engine.Connect(upper, "out", sink, "in");
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(*machine.kernel().ReadFile(pid, "/out.txt"), "PAYLOAD");
+  EXPECT_EQ(engine.stats().token_transfers, 2u);
+  EXPECT_EQ(engine.stats().firings, 3u);
+}
+
+TEST(KeplerEngineTest, FanOutDeliversToAllConsumers) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("kepler");
+  ASSERT_TRUE(machine.kernel().WriteFile(pid, "/in.txt", "x").ok());
+  KeplerEngine engine(&machine.kernel(), pid, nullptr);
+  auto* source = engine.Add(std::make_unique<FileSourceOp>("src", "/in.txt"));
+  auto* a = engine.Add(std::make_unique<FileSinkOp>("a", "/a.txt"));
+  auto* b = engine.Add(std::make_unique<FileSinkOp>("b", "/b.txt"));
+  engine.Connect(source, "out", a, "in");
+  engine.Connect(source, "out", b, "in");
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(machine.kernel().ReadFile(pid, "/a.txt").ok());
+  EXPECT_TRUE(machine.kernel().ReadFile(pid, "/b.txt").ok());
+}
+
+TEST(KeplerRecorderTest, TextRecorderWritesEventLog) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("kepler");
+  ASSERT_TRUE(machine.kernel().WriteFile(pid, "/in.txt", "x").ok());
+  KeplerEngine engine(&machine.kernel(), pid,
+                      std::make_unique<TextRecorder>("/prov.txt"));
+  auto* source = engine.Add(std::make_unique<FileSourceOp>("src", "/in.txt"));
+  auto* sink = engine.Add(std::make_unique<FileSinkOp>("sink", "/out.txt"));
+  engine.Connect(source, "out", sink, "in");
+  ASSERT_TRUE(engine.Run().ok());
+  auto log = machine.kernel().ReadFile(pid, "/prov.txt");
+  ASSERT_TRUE(log.ok());
+  EXPECT_NE(log->find("OPERATOR name=src"), std::string::npos);
+  EXPECT_NE(log->find("TRANSFER from=src to=sink"), std::string::npos);
+}
+
+TEST(KeplerRecorderTest, RelationalRecorderCollectsRows) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("kepler");
+  ASSERT_TRUE(machine.kernel().WriteFile(pid, "/in.txt", "x").ok());
+  auto recorder = std::make_unique<RelationalRecorder>();
+  auto* rows = recorder.get();
+  KeplerEngine engine(&machine.kernel(), pid, std::move(recorder));
+  auto* source = engine.Add(std::make_unique<FileSourceOp>("src", "/in.txt"));
+  auto* sink = engine.Add(std::make_unique<FileSinkOp>("sink", "/out.txt"));
+  engine.Connect(source, "out", sink, "in");
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_EQ(rows->rows().size(), 1u);
+  EXPECT_EQ(rows->rows()[0].from, "src");
+  EXPECT_EQ(rows->rows()[0].to, "sink");
+}
+
+TEST(KeplerChallengeTest, ProducesAllThreeAtlases) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("kepler");
+  ChallengePaths paths;
+  ASSERT_TRUE(SeedChallengeInputs(&machine.kernel(), pid, paths, 7).ok());
+  KeplerEngine engine(&machine.kernel(), pid, nullptr);
+  BuildChallengeWorkflow(&engine, paths);
+  ASSERT_TRUE(engine.Run().ok());
+  for (char axis : {'x', 'y', 'z'}) {
+    auto atlas = machine.kernel().ReadFile(pid, paths.Atlas(axis));
+    ASSERT_TRUE(atlas.ok());
+    EXPECT_NE(atlas->find("convert("), std::string::npos);
+  }
+}
+
+TEST(KeplerChallengeTest, ChangedInputChangesOutput) {
+  // Two runs; an input modified in between (the Figure 1 story).
+  auto run = [](uint64_t input_seed) {
+    Machine machine;
+    os::Pid pid = machine.Spawn("kepler");
+    ChallengePaths paths;
+    EXPECT_TRUE(
+        SeedChallengeInputs(&machine.kernel(), pid, paths, input_seed).ok());
+    KeplerEngine engine(&machine.kernel(), pid, nullptr);
+    BuildChallengeWorkflow(&engine, paths);
+    EXPECT_TRUE(engine.Run().ok());
+    return *machine.kernel().ReadFile(pid, paths.Atlas('x'));
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(KeplerPassTest, OperatorsBecomeProvenanceObjects) {
+  Machine machine{WithPass()};
+  os::Pid pid = machine.Spawn("kepler");
+  ChallengePaths paths;
+  ASSERT_TRUE(SeedChallengeInputs(&machine.kernel(), pid, paths, 7).ok());
+  KeplerEngine engine(&machine.kernel(), pid,
+                      std::make_unique<PassRecorder>(machine.Lib(pid)));
+  BuildChallengeWorkflow(&engine, paths);
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_TRUE(machine.waldo()->Drain().ok());
+
+  auto operators = machine.db()->PnodesByType("OPERATOR");
+  EXPECT_GE(operators.size(), 15u);  // 9 sources + softmean + 4 align...
+  // softmean's PARAMS/NAME are queryable.
+  auto named = machine.db()->PnodesByName("softmean");
+  ASSERT_EQ(named.size(), 1u);
+}
+
+TEST(KeplerPassTest, AtlasAncestryCrossesLayers) {
+  // The §3.1 query: ancestors of atlas-x.gif must include workflow
+  // operators AND the anatomy input files.
+  Machine machine{WithPass()};
+  os::Pid pid = machine.Spawn("kepler");
+  ChallengePaths paths;
+  ASSERT_TRUE(SeedChallengeInputs(&machine.kernel(), pid, paths, 7).ok());
+  KeplerEngine engine(&machine.kernel(), pid,
+                      std::make_unique<PassRecorder>(machine.Lib(pid)));
+  BuildChallengeWorkflow(&engine, paths);
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_TRUE(machine.waldo()->Drain().ok());
+
+  auto atlas = machine.db()->PnodesByName(paths.Atlas('x'));
+  ASSERT_EQ(atlas.size(), 1u);
+  // Walk the full ancestry.
+  std::set<core::ObjectRef> seen;
+  std::vector<core::ObjectRef> stack;
+  for (core::Version v : machine.db()->VersionsOf(atlas[0])) {
+    stack.push_back({atlas[0], v});
+  }
+  bool saw_operator = false;
+  bool saw_anatomy = false;
+  while (!stack.empty()) {
+    core::ObjectRef ref = stack.back();
+    stack.pop_back();
+    if (!seen.insert(ref).second) {
+      continue;
+    }
+    for (const core::Record& record :
+         machine.db()->RecordsOfAllVersions(ref.pnode)) {
+      if (record.attr == core::Attr::kType &&
+          std::get<std::string>(record.value) == "OPERATOR") {
+        saw_operator = true;
+      }
+      if (record.attr == core::Attr::kName &&
+          std::get<std::string>(record.value) == paths.Anatomy(0)) {
+        saw_anatomy = true;
+      }
+    }
+    for (const core::ObjectRef& input : machine.db()->Inputs(ref)) {
+      stack.push_back(input);
+    }
+    for (core::Version v : machine.db()->VersionsOf(ref.pnode)) {
+      if (v < ref.version) {
+        stack.push_back({ref.pnode, v});
+      }
+    }
+  }
+  EXPECT_TRUE(saw_operator);
+  EXPECT_TRUE(saw_anatomy);
+}
+
+TEST(KeplerTabularTest, ReformatsWithExpression) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("kepler");
+  ASSERT_TRUE(
+      machine.kernel().WriteFile(pid, "/table.tsv", "1\t2\t3\n4\t5\t6\n")
+          .ok());
+  KeplerEngine engine(&machine.kernel(), pid, nullptr);
+  BuildTabularWorkflow(&engine, "/table.tsv", "/out.txt", "%a-%b");
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(*machine.kernel().ReadFile(pid, "/out.txt"), "1-2\n4-5\n");
+}
+
+TEST(KeplerTabularTest, DeterministicTableGenerator) {
+  EXPECT_EQ(MakeTabularData(3, 4, 2), MakeTabularData(3, 4, 2));
+  EXPECT_NE(MakeTabularData(3, 4, 2), MakeTabularData(4, 4, 2));
+  auto lines = Split(MakeTabularData(1, 5, 3), '\n');
+  EXPECT_EQ(lines.size(), 6u);  // 5 rows + trailing empty
+}
+
+}  // namespace
+}  // namespace pass::kepler

@@ -1,0 +1,157 @@
+// Tests for src/fs/memfs: the ext3-stand-in (zones, cache model, stats,
+// mutation trace + crash replay).
+
+#include <gtest/gtest.h>
+
+#include "src/fs/memfs.h"
+#include "src/sim/env.h"
+
+namespace pass::fs {
+namespace {
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  MemFsTest()
+      : env_(1),
+        disk_(&env_.clock()),
+        fs_(&env_, &disk_, sim::DiskZone(8ull << 30, 60ull << 30),
+            sim::DiskZone(0, 128ull << 20),
+            sim::DiskZone(128ull << 20, 4ull << 30),
+            MemFsOptions{.enable_trace = true}) {}
+
+  sim::Env env_;
+  sim::Disk disk_;
+  MemFs fs_;
+};
+
+TEST_F(MemFsTest, SeedAndRawReadDoNotChargeDisk) {
+  ASSERT_TRUE(fs_.SeedFile("/input/a.dat", "cold data").ok());
+  EXPECT_EQ(disk_.stats().reads + disk_.stats().writes, 0u);
+  EXPECT_EQ(*fs_.ReadFileRaw("/input/a.dat"), "cold data");
+  EXPECT_EQ(disk_.stats().reads, 0u);
+}
+
+TEST_F(MemFsTest, ColdReadChargesOnceThenCached) {
+  ASSERT_TRUE(fs_.SeedFile("/a", std::string(8192, 'z')).ok());
+  auto vnode = fs_.ResolvePath("/a");
+  ASSERT_TRUE(vnode.ok());
+  std::string out;
+  ASSERT_TRUE((*vnode)->Read(0, 4096, &out).ok());
+  uint64_t after_first = disk_.stats().reads;
+  EXPECT_EQ(after_first, 1u);
+  ASSERT_TRUE((*vnode)->Read(4096, 4096, &out).ok());
+  EXPECT_EQ(disk_.stats().reads, after_first);  // page cache
+}
+
+TEST_F(MemFsTest, WritesChargeDataZoneAndJournal) {
+  auto root = fs_.root();
+  auto file = root->Create("f", os::VnodeType::kFile);
+  ASSERT_TRUE(file.ok());
+  uint64_t journal_writes = disk_.stats().writes;
+  EXPECT_GE(journal_writes, 1u);  // create journaled
+  ASSERT_TRUE((*file)->Write(0, "hello").ok());
+  EXPECT_GT(disk_.stats().writes, journal_writes);
+}
+
+TEST_F(MemFsTest, StatsCountFilesAndBytes) {
+  ASSERT_TRUE(fs_.SeedFile("/x/a", "12345").ok());
+  ASSERT_TRUE(fs_.SeedFile("/x/b", "123").ok());
+  os::FsStats stats = fs_.stats();
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.bytes_data, 8u);
+  EXPECT_EQ(fs_.BytesUnder("/x"), 8u);
+  EXPECT_EQ(fs_.BytesUnder("/nope"), 0u);
+}
+
+TEST_F(MemFsTest, ListAndExistsRaw) {
+  ASSERT_TRUE(fs_.SeedFile("/d/one", "1").ok());
+  ASSERT_TRUE(fs_.SeedFile("/d/two", "2").ok());
+  auto names = fs_.ListDirRaw("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+  EXPECT_TRUE(fs_.ExistsRaw("/d/one"));
+  EXPECT_FALSE(fs_.ExistsRaw("/d/three"));
+}
+
+TEST_F(MemFsTest, TraceRecordsMutations) {
+  auto root = fs_.root();
+  auto file = root->Create("f", os::VnodeType::kFile);
+  ASSERT_TRUE((*file)->Write(0, "abc").ok());
+  ASSERT_TRUE(root->Unlink("f").ok());
+  ASSERT_GE(fs_.trace().size(), 3u);
+  EXPECT_EQ(fs_.trace()[0].kind, FsOp::Kind::kCreate);
+  EXPECT_EQ(fs_.trace()[1].kind, FsOp::Kind::kWrite);
+  EXPECT_EQ(fs_.trace().back().kind, FsOp::Kind::kUnlink);
+}
+
+TEST_F(MemFsTest, LargeWritesTraceInChunks) {
+  auto root = fs_.root();
+  auto file = root->Create("big", os::VnodeType::kFile);
+  ASSERT_TRUE((*file)->Write(0, std::string(10000, 'x')).ok());
+  size_t write_ops = 0;
+  for (const FsOp& op : fs_.trace()) {
+    if (op.kind == FsOp::Kind::kWrite) {
+      ++write_ops;
+      EXPECT_LE(op.data.size(), 4096u);
+    }
+  }
+  EXPECT_EQ(write_ops, 3u);  // 4096 + 4096 + 1808
+}
+
+TEST_F(MemFsTest, ReplayPrefixReconstructsIntermediateState) {
+  auto root = fs_.root();
+  auto file = root->Create("f", os::VnodeType::kFile);
+  ASSERT_TRUE((*file)->Write(0, "version-one").ok());
+  size_t mid = fs_.trace().size();
+  ASSERT_TRUE((*file)->Write(0, "version-TWO").ok());
+
+  MemFs replayed(&env_, nullptr, {}, {}, {},
+                 MemFsOptions{.charge_disk = false});
+  ASSERT_TRUE(fs_.ReplayInto(&replayed, mid).ok());
+  EXPECT_EQ(*replayed.ReadFileRaw("/f"), "version-one");
+
+  MemFs full(&env_, nullptr, {}, {}, {}, MemFsOptions{.charge_disk = false});
+  ASSERT_TRUE(fs_.ReplayInto(&full, fs_.trace().size()).ok());
+  EXPECT_EQ(*full.ReadFileRaw("/f"), "version-TWO");
+}
+
+TEST_F(MemFsTest, ReplayHandlesRenameAndUnlink) {
+  auto root = fs_.root();
+  auto file = root->Create("a", os::VnodeType::kFile);
+  ASSERT_TRUE((*file)->Write(0, "payload").ok());
+  ASSERT_TRUE(fs_.Rename(root, "a", root, "b").ok());
+  MemFs replayed(&env_, nullptr, {}, {}, {},
+                 MemFsOptions{.charge_disk = false});
+  ASSERT_TRUE(fs_.ReplayInto(&replayed, fs_.trace().size()).ok());
+  EXPECT_FALSE(replayed.ExistsRaw("/a"));
+  EXPECT_EQ(*replayed.ReadFileRaw("/b"), "payload");
+}
+
+TEST_F(MemFsTest, SpecialZonePrefixAllocatesSeparately) {
+  // Writes to /.pass land in the special zone, far from data-zone writes.
+  ASSERT_TRUE(fs_.WriteFileRaw("/.pass/log.0", "").ok());
+  auto log = fs_.ResolvePath("/.pass/log.0");
+  auto root = fs_.root();
+  auto file = root->Create("data", os::VnodeType::kFile);
+  ASSERT_TRUE((*file)->Write(0, std::string(4096, 'd')).ok());
+  uint64_t seeks_before = disk_.stats().seeks;
+  // Alternate appends: every switch between zones must seek.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*log)->Write(i * 100, std::string(100, 'p')).ok());
+    ASSERT_TRUE(
+        (*file)->Write(4096 + i * 4096, std::string(4096, 'd')).ok());
+  }
+  EXPECT_GE(disk_.stats().seeks - seeks_before, 19u);
+}
+
+TEST_F(MemFsTest, RenameOverExistingReplacesTarget) {
+  ASSERT_TRUE(fs_.SeedFile("/old", "old-bits").ok());
+  ASSERT_TRUE(fs_.SeedFile("/new", "new-bits").ok());
+  auto root = fs_.root();
+  ASSERT_TRUE(fs_.Rename(root, "new", root, "old").ok());
+  EXPECT_EQ(*fs_.ReadFileRaw("/old"), "new-bits");
+  EXPECT_EQ(fs_.stats().files, 1u);
+}
+
+}  // namespace
+}  // namespace pass::fs

@@ -1,0 +1,326 @@
+// Tests for MiniPy (§6.4): language semantics, file I/O through the kernel,
+// origin propagation through wrapped types, the pa_wrap invocation model,
+// and the documented operator-limitation (§6.5).
+
+#include <gtest/gtest.h>
+
+#include "src/minipy/minipy.h"
+#include "src/workloads/machine.h"
+
+namespace pass::minipy {
+namespace {
+
+using workloads::Machine;
+using workloads::MachineOptions;
+
+std::string RunPlain(Machine* machine, os::Pid pid, const std::string& src) {
+  Interp interp(&machine->kernel(), pid, nullptr);
+  auto out = interp.RunSource(src);
+  EXPECT_TRUE(out.ok()) << out.status().ToString() << "\nsource:\n" << src;
+  return out.value_or("");
+}
+
+TEST(MiniPyLangTest, ArithmeticAndPrint) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("py");
+  EXPECT_EQ(RunPlain(&machine, pid, "print(1 + 2 * 3)\n"), "7\n");
+  EXPECT_EQ(RunPlain(&machine, pid, "print(7 // 2, 7 % 2, 7 / 2)\n"),
+            "3 1 3.5\n");
+  EXPECT_EQ(RunPlain(&machine, pid, "print(-3 + 1)\n"), "-2\n");
+}
+
+TEST(MiniPyLangTest, StringsListsDicts) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("py");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "s = 'a,b,c'\n"
+                     "parts = s.split(',')\n"
+                     "print(len(parts), parts[1])\n"),
+            "3 b\n");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "xs = [1, 2]\n"
+                     "xs.append(3)\n"
+                     "print(xs)\n"),
+            "[1, 2, 3]\n");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "d = {'k': 41}\n"
+                     "d['k'] = d['k'] + 1\n"
+                     "print(d.get('k'), d.get('nope', 0))\n"),
+            "42 0\n");
+}
+
+TEST(MiniPyLangTest, ControlFlow) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("py");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "total = 0\n"
+                     "for i in range(5):\n"
+                     "    if i % 2 == 0:\n"
+                     "        total = total + i\n"
+                     "print(total)\n"),
+            "6\n");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "i = 0\n"
+                     "while True:\n"
+                     "    i = i + 1\n"
+                     "    if i == 3:\n"
+                     "        break\n"
+                     "print(i)\n"),
+            "3\n");
+}
+
+TEST(MiniPyLangTest, FunctionsAndClosures) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("py");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "def add(a, b):\n"
+                     "    return a + b\n"
+                     "def twice(x):\n"
+                     "    return add(x, x)\n"
+                     "print(twice(21))\n"),
+            "42\n");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "def fib(n):\n"
+                     "    if n < 2:\n"
+                     "        return n\n"
+                     "    return fib(n - 1) + fib(n - 2)\n"
+                     "print(fib(10))\n"),
+            "55\n");
+}
+
+TEST(MiniPyLangTest, ErrorsAreStatuses) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("py");
+  Interp interp(&machine.kernel(), pid, nullptr);
+  EXPECT_FALSE(interp.RunSource("print(missing)\n").ok());
+  Interp interp2(&machine.kernel(), pid, nullptr);
+  EXPECT_FALSE(interp2.RunSource("x = [1][5]\n").ok());
+  Interp interp3(&machine.kernel(), pid, nullptr);
+  EXPECT_FALSE(interp3.RunSource("x = 1 / 0\n").ok());
+  Interp interp4(&machine.kernel(), pid, nullptr);
+  EXPECT_FALSE(interp4.RunSource("def f(:\n").ok());
+}
+
+TEST(MiniPyIoTest, FileRoundTripThroughKernel) {
+  Machine machine;
+  os::Pid pid = machine.Spawn("py");
+  RunPlain(&machine, pid,
+           "f = open('/data.txt', 'w')\n"
+           "f.write('line1\\nline2\\n')\n"
+           "f.close()\n");
+  EXPECT_EQ(RunPlain(&machine, pid,
+                     "f = open('/data.txt', 'r')\n"
+                     "content = f.read()\n"
+                     "f.close()\n"
+                     "print(len(content.split('\\n')))\n"),
+            "3\n");
+}
+
+class MiniPyPassTest : public ::testing::Test {
+ protected:
+  MiniPyPassTest()
+      : machine_([] {
+          MachineOptions options;
+          options.with_pass = true;
+          return options;
+        }()),
+        pid_(machine_.Spawn("python")),
+        lib_(machine_.Lib(pid_)) {}
+
+  std::string Run(const std::string& src) {
+    Interp interp(&machine_.kernel(), pid_, &lib_);
+    auto out = interp.RunSource(src);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    last_stats_ = interp.stats();
+    return out.value_or("");
+  }
+
+  Machine machine_;
+  os::Pid pid_;
+  core::LibPass lib_;
+  MiniPyStats last_stats_;
+};
+
+TEST_F(MiniPyPassTest, ReadTagsValuesWithOrigin) {
+  os::Pid setup = machine_.Spawn("setup");
+  ASSERT_TRUE(machine_.kernel().WriteFile(setup, "/in.xml", "<x>1</x>").ok());
+  // Copy through MiniPy: output must descend from input via the script.
+  Run("f = open('/in.xml', 'r')\n"
+      "data = f.read()\n"
+      "f.close()\n"
+      "g = open('/out.xml', 'w')\n"
+      "g.write(data)\n"
+      "g.close()\n");
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+  auto in_pnodes = machine_.db()->PnodesByName("/in.xml");
+  auto out_pnodes = machine_.db()->PnodesByName("/out.xml");
+  ASSERT_EQ(in_pnodes.size(), 1u);
+  ASSERT_EQ(out_pnodes.size(), 1u);
+  bool linked = false;
+  for (core::Version v : machine_.db()->VersionsOf(out_pnodes[0])) {
+    for (const core::ObjectRef& input :
+         machine_.db()->Inputs({out_pnodes[0], v})) {
+      if (input.pnode == in_pnodes[0]) {
+        linked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(linked);
+}
+
+TEST_F(MiniPyPassTest, WrappedFunctionCreatesInvocationObjects) {
+  os::Pid setup = machine_.Spawn("setup");
+  ASSERT_TRUE(machine_.kernel().WriteFile(setup, "/crack1.xml",
+                                          "heat=1.5 len=3")
+                  .ok());
+  Run("def plot_heating(doc):\n"
+      "    return 'plot:' + doc\n"
+      "plot = pa_wrap(plot_heating)\n"
+      "f = open('/crack1.xml', 'r')\n"
+      "doc = f.read()\n"
+      "f.close()\n"
+      "result = plot(doc)\n"
+      "g = open('/plot.dat', 'w')\n"
+      "g.write(result)\n"
+      "g.close()\n");
+  EXPECT_EQ(last_stats_.wrapped_calls, 1u);
+  EXPECT_EQ(last_stats_.invocations_created, 1u);
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+
+  // FUNCTION-typed objects exist, and the plot descends from the XML file
+  // *through the invocation* (the §3.3 data-origin chain).
+  auto functions = machine_.db()->PnodesByType("FUNCTION");
+  EXPECT_GE(functions.size(), 2u);  // function + invocation
+  auto plot = machine_.db()->PnodesByName("/plot.dat");
+  auto xml = machine_.db()->PnodesByName("/crack1.xml");
+  ASSERT_EQ(plot.size(), 1u);
+  ASSERT_EQ(xml.size(), 1u);
+  std::set<core::ObjectRef> seen;
+  std::vector<core::ObjectRef> stack;
+  for (core::Version v : machine_.db()->VersionsOf(plot[0])) {
+    stack.push_back({plot[0], v});
+  }
+  bool reaches_xml = false;
+  bool through_function = false;
+  while (!stack.empty()) {
+    core::ObjectRef ref = stack.back();
+    stack.pop_back();
+    if (!seen.insert(ref).second) {
+      continue;
+    }
+    if (ref.pnode == xml[0]) {
+      reaches_xml = true;
+    }
+    for (const core::Record& record :
+         machine_.db()->RecordsOfAllVersions(ref.pnode)) {
+      if (record.attr == core::Attr::kType &&
+          std::get<std::string>(record.value) == "FUNCTION") {
+        through_function = true;
+      }
+    }
+    for (const core::ObjectRef& input : machine_.db()->Inputs(ref)) {
+      stack.push_back(input);
+    }
+  }
+  EXPECT_TRUE(reaches_xml);
+  EXPECT_TRUE(through_function);
+}
+
+TEST_F(MiniPyPassTest, SubsetSelectionIsPrecise) {
+  // §3.3: the script reads all XML files but uses only a subset; PA-Python
+  // reports only the used ones via the wrapped call.
+  os::Pid setup = machine_.Spawn("setup");
+  ASSERT_TRUE(machine_.kernel().Mkdir(setup, "/xml").ok());
+  ASSERT_TRUE(
+      machine_.kernel().WriteFile(setup, "/xml/a.xml", "class=A heat=1").ok());
+  ASSERT_TRUE(
+      machine_.kernel().WriteFile(setup, "/xml/b.xml", "class=B heat=2").ok());
+  Run("def analyze(doc):\n"
+      "    return 'used:' + doc\n"
+      "analyze_pa = pa_wrap(analyze)\n"
+      "docs = []\n"
+      "for name in listdir('/xml'):\n"
+      "    f = open('/xml/' + name, 'r')\n"
+      "    docs.append(f.read())\n"
+      "    f.close()\n"
+      "picked = None\n"
+      "for d in docs:\n"
+      "    if 'class=A' in d:\n"
+      "        picked = d\n"
+      "result = analyze_pa(picked)\n"
+      "out = open('/result.dat', 'w')\n"
+      "out.write(result)\n"
+      "out.close()\n");
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+  // The invocation object's INPUT set includes a.xml but not b.xml.
+  auto a = machine_.db()->PnodesByName("/xml/a.xml");
+  auto b = machine_.db()->PnodesByName("/xml/b.xml");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  bool invocation_uses_a = false;
+  bool invocation_uses_b = false;
+  for (core::PnodeId fn : machine_.db()->PnodesByType("FUNCTION")) {
+    for (core::Version v : machine_.db()->VersionsOf(fn)) {
+      for (const core::ObjectRef& input : machine_.db()->Inputs({fn, v})) {
+        invocation_uses_a |= input.pnode == a[0];
+        invocation_uses_b |= input.pnode == b[0];
+      }
+    }
+  }
+  EXPECT_TRUE(invocation_uses_a);
+  EXPECT_FALSE(invocation_uses_b);
+}
+
+TEST_F(MiniPyPassTest, OperatorsLoseProvenanceAsDocumented) {
+  // §6.5: "while we could wrap functions, we lost provenance across
+  // built-in operators". '+' drops the origin tag; methods keep it.
+  os::Pid setup = machine_.Spawn("setup");
+  ASSERT_TRUE(machine_.kernel().WriteFile(setup, "/src.txt", "abc").ok());
+  Run("f = open('/src.txt', 'r')\n"
+      "data = f.read()\n"
+      "f.close()\n"
+      "via_method = data.strip()\n"   // keeps origin
+      "via_operator = data + ''\n"    // loses origin (built-in +)
+      "m = open('/via_method.txt', 'w')\n"
+      "m.write(via_method)\n"
+      "m.close()\n"
+      "o = open('/via_operator.txt', 'w')\n"
+      "o.write(via_operator)\n"
+      "o.close()\n");
+  ASSERT_TRUE(machine_.waldo()->Drain().ok());
+  auto src = machine_.db()->PnodesByName("/src.txt");
+  ASSERT_EQ(src.size(), 1u);
+  auto direct_edge_to_src = [&](const std::string& path) {
+    for (core::PnodeId pnode : machine_.db()->PnodesByName(path)) {
+      for (core::Version v : machine_.db()->VersionsOf(pnode)) {
+        for (const core::ObjectRef& input :
+             machine_.db()->Inputs({pnode, v})) {
+          if (input.pnode == src[0]) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(direct_edge_to_src("/via_method.txt"));
+  EXPECT_FALSE(direct_edge_to_src("/via_operator.txt"));
+}
+
+TEST_F(MiniPyPassTest, UnwrappedRuntimeStillWorks) {
+  // pa_wrap without PASS behaves like the plain function (graceful layer
+  // absence).
+  Machine vanilla;
+  os::Pid pid = vanilla.Spawn("py");
+  Interp interp(&vanilla.kernel(), pid, nullptr);
+  auto out = interp.RunSource(
+      "def f(x):\n"
+      "    return x * 2\n"
+      "g = pa_wrap(f)\n"
+      "print(g(21))\n");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "42\n");
+}
+
+}  // namespace
+}  // namespace pass::minipy

@@ -1,0 +1,241 @@
+// Tests for src/os: paths, VFS resolution, kernel syscall semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/memfs.h"
+#include "src/os/kernel.h"
+#include "src/os/path.h"
+#include "src/sim/env.h"
+
+namespace pass::os {
+namespace {
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(NormalizePath("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(NormalizePath("/a//b/./c/"), "/a/b/c");
+  EXPECT_EQ(NormalizePath("/a/b/../c"), "/a/c");
+  EXPECT_EQ(NormalizePath("/../.."), "/");
+  EXPECT_EQ(NormalizePath("x/y", "/home"), "/home/x/y");
+  EXPECT_EQ(NormalizePath("", "/cwd"), "/cwd");
+}
+
+TEST(PathTest, Components) {
+  auto parts = PathComponents("/a/b/c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_TRUE(PathComponents("/").empty());
+}
+
+TEST(PathTest, DirBaseJoin) {
+  EXPECT_EQ(DirName("/a/b/c"), "/a/b");
+  EXPECT_EQ(DirName("/a"), "/");
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(JoinPath("/", "x"), "/x");
+  EXPECT_EQ(JoinPath("/a", "x"), "/a/x");
+}
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest()
+      : env_(1),
+        fs_(&env_, nullptr, {}, {}, {},
+            fs::MemFsOptions{.name = "memfs", .charge_disk = false}),
+        kernel_(&env_) {
+    EXPECT_TRUE(kernel_.Mount("/", &fs_).ok());
+    pid_ = kernel_.Spawn("test");
+  }
+
+  sim::Env env_;
+  fs::MemFs fs_;
+  Kernel kernel_;
+  Pid pid_;
+};
+
+TEST_F(KernelTest, CreateWriteReadRoundTrip) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f.txt", "hello world").ok());
+  auto data = kernel_.ReadFile(pid_, "/f.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello world");
+}
+
+TEST_F(KernelTest, OpenMissingFileFails) {
+  auto fd = kernel_.Open(pid_, "/nope", kOpenRead);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), Code::kNotFound);
+}
+
+TEST_F(KernelTest, OpenCreateExclFailsOnExisting) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "x").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenWrite | kOpenCreate | kOpenExcl);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), Code::kExists);
+}
+
+TEST_F(KernelTest, TruncResetsContent) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "0123456789").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenWrite | kOpenTrunc);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Write(pid_, *fd, "ab").ok());
+  ASSERT_TRUE(kernel_.Close(pid_, *fd).ok());
+  EXPECT_EQ(*kernel_.ReadFile(pid_, "/f"), "ab");
+}
+
+TEST_F(KernelTest, AppendWritesAtEnd) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "abc").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenWrite | kOpenAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Write(pid_, *fd, "def").ok());
+  ASSERT_TRUE(kernel_.Close(pid_, *fd).ok());
+  EXPECT_EQ(*kernel_.ReadFile(pid_, "/f"), "abcdef");
+}
+
+TEST_F(KernelTest, LseekSetCurEnd) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "0123456789").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(*kernel_.Lseek(pid_, *fd, 4, 0), 4u);
+  std::string out;
+  ASSERT_TRUE(kernel_.Read(pid_, *fd, 2, &out).ok());
+  EXPECT_EQ(out, "45");
+  EXPECT_EQ(*kernel_.Lseek(pid_, *fd, -1, 1), 5u);
+  EXPECT_EQ(*kernel_.Lseek(pid_, *fd, -2, 2), 8u);
+  auto bad = kernel_.Lseek(pid_, *fd, -100, 1);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(KernelTest, ReadingBeyondEofReturnsShort) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "abc").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenRead);
+  std::string out;
+  EXPECT_EQ(*kernel_.Read(pid_, *fd, 100, &out), 3u);
+  EXPECT_EQ(out, "abc");
+  EXPECT_EQ(*kernel_.Read(pid_, *fd, 100, &out), 0u);
+}
+
+TEST_F(KernelTest, WriteOnReadOnlyFdFails) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "abc").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenRead);
+  auto n = kernel_.Write(pid_, *fd, "x");
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), Code::kBadFd);
+}
+
+TEST_F(KernelTest, MkdirReaddirUnlinkRmdir) {
+  ASSERT_TRUE(kernel_.Mkdir(pid_, "/d").ok());
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/d/a", "1").ok());
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/d/b", "2").ok());
+  auto entries = kernel_.Readdir(pid_, "/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(kernel_.Rmdir(pid_, "/d").code(), Code::kNotEmpty);
+  ASSERT_TRUE(kernel_.Unlink(pid_, "/d/a").ok());
+  ASSERT_TRUE(kernel_.Unlink(pid_, "/d/b").ok());
+  ASSERT_TRUE(kernel_.Rmdir(pid_, "/d").ok());
+  EXPECT_FALSE(kernel_.Stat(pid_, "/d").ok());
+}
+
+TEST_F(KernelTest, RenameMovesAndReplaces) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/src", "data").ok());
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/dst", "old").ok());
+  ASSERT_TRUE(kernel_.Rename(pid_, "/src", "/dst").ok());
+  EXPECT_FALSE(kernel_.Stat(pid_, "/src").ok());
+  EXPECT_EQ(*kernel_.ReadFile(pid_, "/dst"), "data");
+}
+
+TEST_F(KernelTest, RenameAcrossDirectories) {
+  ASSERT_TRUE(kernel_.Mkdir(pid_, "/a").ok());
+  ASSERT_TRUE(kernel_.Mkdir(pid_, "/b").ok());
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/a/f", "x").ok());
+  ASSERT_TRUE(kernel_.Rename(pid_, "/a/f", "/b/g").ok());
+  EXPECT_EQ(*kernel_.ReadFile(pid_, "/b/g"), "x");
+}
+
+TEST_F(KernelTest, PipeMovesBytesBetweenFds) {
+  auto fds = kernel_.Pipe(pid_);
+  ASSERT_TRUE(fds.ok());
+  auto [rfd, wfd] = *fds;
+  ASSERT_TRUE(kernel_.Write(pid_, wfd, "through the pipe").ok());
+  std::string out;
+  ASSERT_TRUE(kernel_.Read(pid_, rfd, 7, &out).ok());
+  EXPECT_EQ(out, "through");
+  ASSERT_TRUE(kernel_.Read(pid_, rfd, 100, &out).ok());
+  EXPECT_EQ(out, " the pipe");
+}
+
+TEST_F(KernelTest, ForkSharesOpenFileOffsets) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "0123456789").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  auto child = kernel_.Fork(pid_);
+  ASSERT_TRUE(child.ok());
+  std::string out;
+  ASSERT_TRUE(kernel_.Read(pid_, *fd, 3, &out).ok());
+  ASSERT_TRUE(kernel_.Read(*child, *fd, 3, &out).ok());
+  EXPECT_EQ(out, "345");  // child continues where parent stopped
+}
+
+TEST_F(KernelTest, ExecRenamesProcess) {
+  ASSERT_TRUE(kernel_.Mkdir(pid_, "/bin").ok());
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/bin/tool", "#!binary").ok());
+  ASSERT_TRUE(kernel_.Exec(pid_, "/bin/tool", {"tool", "-v"}).ok());
+  auto proc = kernel_.GetProcess(pid_);
+  ASSERT_TRUE(proc.ok());
+  EXPECT_EQ((*proc)->name(), "tool");
+  ASSERT_EQ((*proc)->argv().size(), 2u);
+}
+
+TEST_F(KernelTest, ExitClosesFds) {
+  auto fd = kernel_.Open(pid_, "/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.Exit(pid_, 0).ok());
+  auto proc = kernel_.GetProcess(pid_);
+  ASSERT_TRUE(proc.ok());
+  EXPECT_TRUE((*proc)->exited());
+  EXPECT_TRUE((*proc)->fds().empty());
+}
+
+TEST_F(KernelTest, ChdirAffectsRelativePaths) {
+  ASSERT_TRUE(kernel_.Mkdir(pid_, "/work").ok());
+  ASSERT_TRUE(kernel_.Chdir(pid_, "/work").ok());
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "rel.txt", "here").ok());
+  EXPECT_EQ(*kernel_.ReadFile(pid_, "/work/rel.txt"), "here");
+}
+
+TEST_F(KernelTest, Dup2SharesOffset) {
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", "0123456789").ok());
+  auto fd = kernel_.Open(pid_, "/f", kOpenRead);
+  ASSERT_TRUE(kernel_.Dup2(pid_, *fd, 99).ok());
+  std::string out;
+  ASSERT_TRUE(kernel_.Read(pid_, *fd, 4, &out).ok());
+  ASSERT_TRUE(kernel_.Read(pid_, 99, 4, &out).ok());
+  EXPECT_EQ(out, "4567");
+}
+
+TEST_F(KernelTest, WritevCountsAllBuffers) {
+  auto fd = kernel_.Open(pid_, "/f", kOpenWrite | kOpenCreate);
+  auto n = kernel_.Writev(pid_, *fd, {"ab", "cd", "ef"});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 6u);
+  ASSERT_TRUE(kernel_.Close(pid_, *fd).ok());
+  EXPECT_EQ(*kernel_.ReadFile(pid_, "/f"), "abcdef");
+}
+
+TEST_F(KernelTest, SyscallsChargeTime) {
+  sim::Nanos before = env_.clock().now();
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/f", std::string(1 << 16, 'x')).ok());
+  EXPECT_GT(env_.clock().now(), before);
+}
+
+TEST_F(KernelTest, MultipleMounts) {
+  fs::MemFs other(&env_, nullptr, {}, {}, {},
+                  fs::MemFsOptions{.name = "other", .charge_disk = false});
+  ASSERT_TRUE(kernel_.Mount("/mnt/nfs", &other).ok());
+  ASSERT_TRUE(kernel_.WriteFile(pid_, "/mnt/nfs/remote.txt", "far").ok());
+  EXPECT_EQ(*other.ReadFileRaw("/remote.txt"), "far");
+  EXPECT_FALSE(fs_.ExistsRaw("/mnt/nfs/remote.txt"));
+}
+
+}  // namespace
+}  // namespace pass::os

@@ -1,0 +1,335 @@
+// Tests for PQL (§5.7): lexer, parser, and evaluator — including the
+// paper's sample anomaly query over a hand-built provenance graph.
+
+#include <gtest/gtest.h>
+
+#include "src/pql/eval.h"
+#include "src/pql/lexer.h"
+#include "src/pql/parser.h"
+#include "src/pql/provdb_source.h"
+#include "src/waldo/provdb.h"
+
+namespace pass::pql {
+namespace {
+
+TEST(PqlLexerTest, TokenizesSampleQuery) {
+  auto tokens = Tokenize(
+      "select Ancestor from Provenance.file as Atlas "
+      "Atlas.input* as Ancestor where Atlas.name = \"atlas-x.gif\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+  size_t stars = 0;
+  for (const Token& token : *tokens) {
+    if (token.kind == TokenKind::kStar) {
+      ++stars;
+    }
+  }
+  EXPECT_EQ(stars, 1u);
+}
+
+TEST(PqlLexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("SELECT x FROM Provenance.file AS x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kSelect);
+}
+
+TEST(PqlLexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 3.5 'single' \"double\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[1].real_value, 3.5);
+  EXPECT_EQ((*tokens)[2].text, "single");
+  EXPECT_EQ((*tokens)[3].text, "double");
+}
+
+TEST(PqlLexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("select -- a comment\n x from Provenance.file as x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "x");
+}
+
+TEST(PqlLexerTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(Tokenize("select `x`").ok());
+  EXPECT_FALSE(Tokenize("select \"unterminated").ok());
+}
+
+TEST(PqlParserTest, PaperSampleStructure) {
+  auto query = ParseQuery(
+      "select Ancestor\n"
+      "from Provenance.file as Atlas\n"
+      "     Atlas.input* as Ancestor\n"
+      "where Atlas.name = \"atlas-x.gif\"");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ((*query)->froms.size(), 2u);
+  EXPECT_TRUE((*query)->froms[0].path.from_provenance);
+  EXPECT_EQ((*query)->froms[0].path.root_set, "file");
+  EXPECT_EQ((*query)->froms[0].variable, "Atlas");
+  EXPECT_EQ((*query)->froms[1].path.variable, "Atlas");
+  ASSERT_EQ((*query)->froms[1].path.steps.size(), 1u);
+  EXPECT_EQ((*query)->froms[1].path.steps[0].closure, Closure::kStar);
+  ASSERT_NE((*query)->where, nullptr);
+}
+
+TEST(PqlParserTest, InverseAndClosures) {
+  auto query = ParseQuery(
+      "select d from Provenance.file as f f.~input+ as d");
+  ASSERT_TRUE(query.ok());
+  const PathStep& step = (*query)->froms[1].path.steps[0];
+  EXPECT_TRUE(step.inverse);
+  EXPECT_EQ(step.closure, Closure::kPlus);
+}
+
+TEST(PqlParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("select").ok());
+  EXPECT_FALSE(ParseQuery("select x").ok());
+  EXPECT_FALSE(ParseQuery("select x from").ok());
+  EXPECT_FALSE(ParseQuery("select x from Provenance.file").ok());  // no 'as'
+  EXPECT_FALSE(ParseQuery("from Provenance.file as x").ok());
+  EXPECT_FALSE(ParseQuery("select x from Provenance.file as x extra!").ok());
+}
+
+TEST(PqlParserTest, SubqueryAndAggregates) {
+  auto query = ParseQuery(
+      "select count(f.input*) as n from Provenance.file as f "
+      "where f in (select g from Provenance.file as g)");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ((*query)->selects[0].expr.kind, Expr::Kind::kAggregate);
+  EXPECT_EQ((*query)->selects[0].alias, "n");
+}
+
+// ---- Evaluation over a known graph -------------------------------------------
+//
+// Graph (paper Figure 1 in miniature):
+//   atlas-x.gif(p1) <- softmean(p2, PROC) <- reslice1(p3, PROC)
+//   softmean <- anatomy1.img(p4, FILE), reslice1 <- anatomy2.img(p5, FILE)
+//   other.gif(p6) <- otherproc(p7)
+
+class PqlEvalTest : public ::testing::Test {
+ protected:
+  PqlEvalTest() : source_(&db_), engine_(&source_) {
+    Put({1, 0}, core::Record::Name("atlas-x.gif"));
+    Put({1, 0}, core::Record::Type("FILE"));
+    Put({2, 0}, core::Record::Name("softmean"));
+    Put({2, 0}, core::Record::Type("PROC"));
+    Put({3, 0}, core::Record::Name("reslice1"));
+    Put({3, 0}, core::Record::Type("PROC"));
+    Put({4, 0}, core::Record::Name("anatomy1.img"));
+    Put({4, 0}, core::Record::Type("FILE"));
+    Put({5, 0}, core::Record::Name("anatomy2.img"));
+    Put({5, 0}, core::Record::Type("FILE"));
+    Put({6, 0}, core::Record::Name("other.gif"));
+    Put({6, 0}, core::Record::Type("FILE"));
+    Put({7, 0}, core::Record::Name("otherproc"));
+    Put({7, 0}, core::Record::Type("PROC"));
+
+    Edge({1, 0}, {2, 0});  // atlas <- softmean
+    Edge({2, 0}, {3, 0});  // softmean <- reslice1
+    Edge({2, 0}, {4, 0});  // softmean <- anatomy1
+    Edge({3, 0}, {5, 0});  // reslice1 <- anatomy2
+    Edge({6, 0}, {7, 0});  // other <- otherproc
+  }
+
+  void Put(core::ObjectRef ref, core::Record record) {
+    db_.Insert({ref, std::move(record)});
+  }
+  void Edge(core::ObjectRef child, core::ObjectRef parent) {
+    db_.Insert({child, core::Record::Input(parent)});
+  }
+
+  std::set<std::string> NamesIn(const QueryResult& result) {
+    std::set<std::string> names;
+    for (const auto& row : result.rows) {
+      for (const Value& value : row) {
+        if (value.is_node()) {
+          names.insert(db_.NameOf(value.AsNode().pnode));
+        } else {
+          names.insert(value.ToString());
+        }
+      }
+    }
+    return names;
+  }
+
+  waldo::ProvDb db_;
+  ProvDbSource source_;
+  Engine engine_;
+};
+
+TEST_F(PqlEvalTest, PaperSampleQueryFindsAllAncestors) {
+  auto result = engine_.Run(
+      "select Ancestor\n"
+      "from Provenance.file as Atlas\n"
+      "     Atlas.input* as Ancestor\n"
+      "where Atlas.name = \"atlas-x.gif\"");
+  ASSERT_TRUE(result.ok());
+  auto names = NamesIn(*result);
+  // Zero-or-more closure includes the file itself plus the full chain.
+  EXPECT_EQ(names,
+            (std::set<std::string>{"atlas-x.gif", "softmean", "reslice1",
+                                   "anatomy1.img", "anatomy2.img"}));
+}
+
+TEST_F(PqlEvalTest, PlusClosureExcludesSelf) {
+  auto result = engine_.Run(
+      "select a from Provenance.file as f f.input+ as a "
+      "where f.name = \"atlas-x.gif\"");
+  ASSERT_TRUE(result.ok());
+  auto names = NamesIn(*result);
+  EXPECT_EQ(names.count("atlas-x.gif"), 0u);
+  EXPECT_EQ(names.count("softmean"), 1u);
+}
+
+TEST_F(PqlEvalTest, SingleStepOnlyDirectAncestors) {
+  auto result = engine_.Run(
+      "select a from Provenance.file as f f.input as a "
+      "where f.name = \"atlas-x.gif\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(NamesIn(*result), (std::set<std::string>{"softmean"}));
+}
+
+TEST_F(PqlEvalTest, InverseTraversalFindsDescendants) {
+  auto result = engine_.Run(
+      "select d from Provenance.file as f f.~input* as d "
+      "where f.name = \"anatomy2.img\"");
+  ASSERT_TRUE(result.ok());
+  auto names = NamesIn(*result);
+  EXPECT_EQ(names,
+            (std::set<std::string>{"anatomy2.img", "reslice1", "softmean",
+                                   "atlas-x.gif"}));
+}
+
+TEST_F(PqlEvalTest, RootSetsFilterByType) {
+  auto files = engine_.Run("select f from Provenance.file as f");
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->rows.size(), 4u);
+  auto procs = engine_.Run("select p from Provenance.process as p");
+  ASSERT_TRUE(procs.ok());
+  EXPECT_EQ(procs->rows.size(), 3u);
+  auto all = engine_.Run("select o from Provenance.object as o");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), 7u);
+}
+
+TEST_F(PqlEvalTest, AttributeProjection) {
+  auto result = engine_.Run(
+      "select a.name from Provenance.file as f f.input+ as a "
+      "where f.name = \"other.gif\"");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].ToString(), "otherproc");
+}
+
+TEST_F(PqlEvalTest, MultiColumnSelect) {
+  auto result = engine_.Run(
+      "select f.name, count(f.input+) as ancestors "
+      "from Provenance.file as f where f.name like \"atlas*\"");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].ToString(), "atlas-x.gif");
+  EXPECT_EQ(result->rows[0][1].AsInt(), 4);
+  EXPECT_EQ(result->columns[1], "ancestors");
+}
+
+TEST_F(PqlEvalTest, LikeGlobMatching) {
+  auto result = engine_.Run(
+      "select f.name from Provenance.file as f "
+      "where f.name like \"*.img\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(NamesIn(*result),
+            (std::set<std::string>{"anatomy1.img", "anatomy2.img"}));
+}
+
+TEST_F(PqlEvalTest, SubqueryWithIn) {
+  // Files whose ancestry includes any PROC named softmean.
+  auto result = engine_.Run(
+      "select f.name from Provenance.file as f "
+      "where \"softmean\" in (select a.name from f.input+ as a)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(NamesIn(*result), (std::set<std::string>{"atlas-x.gif"}));
+}
+
+TEST_F(PqlEvalTest, ExistsOverPath) {
+  auto result = engine_.Run(
+      "select f.name from Provenance.file as f "
+      "where not exists(f.input)");
+  ASSERT_TRUE(result.ok());
+  // Leaves: files with no ancestors.
+  EXPECT_EQ(NamesIn(*result),
+            (std::set<std::string>{"anatomy1.img", "anatomy2.img"}));
+}
+
+TEST_F(PqlEvalTest, UnionMergesAndDedups) {
+  auto result = engine_.Run(
+      "select f.name from Provenance.file as f where f.name like \"*.img\" "
+      "union "
+      "select g.name from Provenance.file as g where g.name like "
+      "\"anatomy1*\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST_F(PqlEvalTest, AggregatesOverSubquery) {
+  auto result = engine_.Run(
+      "select count(select f from Provenance.file as f) as files "
+      "from Provenance.object as unused_root "
+      "where unused_root.pnode = 1");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(PqlEvalTest, NumericComparisonOnVirtualAttrs) {
+  auto result = engine_.Run(
+      "select o.pnode from Provenance.object as o where o.pnode <= 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST_F(PqlEvalTest, UnboundVariableErrors) {
+  auto result = engine_.Run(
+      "select x from Provenance.file as f where ghost.name = \"x\"");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(PqlEvalTest, CyclicVersionGraphDoesNotHang) {
+  // Defensive: even a (corrupt) cyclic edge set terminates under closure.
+  Edge({8, 0}, {9, 0});
+  Edge({9, 0}, {8, 0});
+  Put({8, 0}, core::Record::Type("FILE"));
+  Put({8, 0}, core::Record::Name("cyc-a"));
+  auto result = engine_.Run(
+      "select a from Provenance.file as f f.input* as a "
+      "where f.name = \"cyc-a\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST_F(PqlEvalTest, TableRenderingIncludesLabels) {
+  auto result = engine_.Run(
+      "select f from Provenance.file as f where f.name = \"atlas-x.gif\"");
+  ASSERT_TRUE(result.ok());
+  std::string table = result->ToTable(&source_);
+  EXPECT_NE(table.find("atlas-x.gif"), std::string::npos);
+  EXPECT_NE(table.find("p1.v0"), std::string::npos);
+}
+
+TEST(PqlLimitsTest, BindingExplosionIsBounded) {
+  waldo::ProvDb db;
+  for (int i = 0; i < 64; ++i) {
+    db.Insert({{static_cast<core::PnodeId>(i + 1), 0},
+               core::Record::Type("FILE")});
+  }
+  ProvDbSource source(&db);
+  EvalLimits limits;
+  limits.max_bindings = 100;
+  Engine engine(&source, limits);
+  // 64 x 64 = 4096 bindings > 100.
+  auto result = engine.Run(
+      "select a from Provenance.file as a Provenance.file as b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kUnavailable);
+}
+
+}  // namespace
+}  // namespace pass::pql

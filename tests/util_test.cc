@@ -1,0 +1,247 @@
+// Tests for src/util: status/result, md5, crc32, rng, encode, strings.
+
+#include <gtest/gtest.h>
+
+#include "src/util/crc32.h"
+#include "src/util/encode.h"
+#include "src/util/md5.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace pass {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), Code::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFound("/tmp/x");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Code::kNotFound);
+  EXPECT_EQ(status.ToString(), "NotFound: /tmp/x");
+}
+
+TEST(StatusTest, AllConstructorsMapToDistinctCodes) {
+  EXPECT_EQ(Exists("x").code(), Code::kExists);
+  EXPECT_EQ(InvalidArgument("x").code(), Code::kInvalidArgument);
+  EXPECT_EQ(BadFd("x").code(), Code::kBadFd);
+  EXPECT_EQ(IsDir("x").code(), Code::kIsDir);
+  EXPECT_EQ(NotDir("x").code(), Code::kNotDir);
+  EXPECT_EQ(NotEmpty("x").code(), Code::kNotEmpty);
+  EXPECT_EQ(NoSpace("x").code(), Code::kNoSpace);
+  EXPECT_EQ(Permission("x").code(), Code::kPermission);
+  EXPECT_EQ(IoError("x").code(), Code::kIoError);
+  EXPECT_EQ(Stale("x").code(), Code::kStale);
+  EXPECT_EQ(Busy("x").code(), Code::kBusy);
+  EXPECT_EQ(Corrupt("x").code(), Code::kCorrupt);
+  EXPECT_EQ(Unsupported("x").code(), Code::kUnsupported);
+  EXPECT_EQ(Unavailable("x").code(), Code::kUnavailable);
+  EXPECT_EQ(OutOfRange("x").code(), Code::kOutOfRange);
+  EXPECT_EQ(Internal("x").code(), Code::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFound("gone");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Code::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  PASS_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(IoError("disk on fire")).status().code(), Code::kIoError);
+}
+
+// RFC 1321 test vectors.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::HexHash(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::HexHash("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::HexHash("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::HexHash("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::HexHash("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::HexHash("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012345"
+                   "6789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::HexHash("1234567890123456789012345678901234567890123456789012"
+                         "3456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  std::string data(100000, 'x');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>('a' + (i * 31) % 26);
+  }
+  Md5 incremental;
+  size_t pos = 0;
+  size_t chunk = 1;
+  while (pos < data.size()) {
+    size_t n = std::min(chunk, data.size() - pos);
+    incremental.Update(data.data() + pos, n);
+    pos += n;
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_EQ(Md5ToHex(incremental.Finish()), Md5::HexHash(data));
+}
+
+TEST(Crc32Test, KnownVector) {
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "write-ahead provenance";
+  uint32_t crc = Crc32(data);
+  data[5] ^= 1;
+  EXPECT_NE(Crc32(data), crc);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.NextRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NameHasRequestedLength) {
+  Rng rng(13);
+  EXPECT_EQ(rng.NextName(12).size(), 12u);
+}
+
+TEST(EncodeTest, RoundTripScalars) {
+  std::string buf;
+  PutU8(&buf, 0xab);
+  PutU16(&buf, 0xbeef);
+  PutU32(&buf, 0xdeadbeef);
+  PutU64(&buf, 0x0123456789abcdefull);
+  PutI64(&buf, -42);
+  PutF64(&buf, 3.25);
+  PutBytes(&buf, "hello");
+
+  Decoder in(buf);
+  EXPECT_EQ(*in.U8(), 0xab);
+  EXPECT_EQ(*in.U16(), 0xbeef);
+  EXPECT_EQ(*in.U32(), 0xdeadbeefu);
+  EXPECT_EQ(*in.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(*in.I64(), -42);
+  EXPECT_EQ(*in.F64(), 3.25);
+  EXPECT_EQ(*in.Bytes(), "hello");
+  EXPECT_TRUE(in.done());
+}
+
+TEST(EncodeTest, TruncationIsCorruptNotCrash) {
+  std::string buf;
+  PutBytes(&buf, "hello world");
+  Decoder in(buf.substr(0, 6));
+  auto bytes = in.Bytes();
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), Code::kCorrupt);
+}
+
+TEST(StringsTest, SplitJoin) {
+  auto parts = Split("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/mnt/nfs/file", "/mnt"));
+  EXPECT_FALSE(StartsWith("/mnt", "/mnt/nfs"));
+  EXPECT_TRUE(EndsWith("atlas-x.gif", ".gif"));
+  EXPECT_FALSE(EndsWith("gif", "atlas.gif"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(StrFormat("%05u", 42u), "00042");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KB");
+  EXPECT_EQ(HumanBytes(3u << 20), "3.0 MB");
+}
+
+TEST(StringsTest, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("*.gif", "atlas-x.gif"));
+  EXPECT_TRUE(GlobMatch("atlas-?.gif", "atlas-y.gif"));
+  EXPECT_FALSE(GlobMatch("atlas-?.gif", "atlas-xy.gif"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("a*b*c", "a-xxx-b-yyy-c"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "a-xxx-c-yyy-b"));
+}
+
+}  // namespace
+}  // namespace pass
