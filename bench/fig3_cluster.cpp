@@ -1,0 +1,142 @@
+// Figure 3 (this repo's extension): the sharded provenance cluster.
+//
+// Sweeps shard count and cross-shard ingest batch size over an identical
+// distributed-lineage workload, reporting replication round trips, bytes,
+// and elapsed virtual time — the batching-vs-RTT tradeoff — then verifies
+// that a federated ancestry query equals the merged single-database run.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/federated_source.h"
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+#include "src/util/logging.h"
+
+namespace {
+
+using pass::cluster::ClusterCoordinator;
+using pass::cluster::ClusterOptions;
+using pass::cluster::FederatedSource;
+
+constexpr int kChainFiles = 96;  // cross-shard lineage chain length
+
+struct RunResult {
+  uint64_t recovered = 0;
+  uint64_t replicated = 0;
+  uint64_t round_trips = 0;
+  uint64_t bytes_sent = 0;
+  double sync_seconds = 0;
+  uint64_t query_remote_ops = 0;
+  size_t query_rows = 0;
+  bool federated_matches_merged = false;
+};
+
+// Render a result as a sorted bag of row strings for comparison.
+std::vector<std::string> Rows(const pass::pql::QueryResult& result) {
+  std::vector<std::string> rows;
+  for (const auto& row : result.rows) {
+    std::string line;
+    for (const pass::pql::Value& value : row) {
+      line += value.ToString();
+      line += '|';
+    }
+    rows.push_back(line);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+RunResult Run(int shards, size_t batch_records) {
+  ClusterOptions options;
+  options.shards = shards;
+  options.ingest_batch_records = batch_records;
+  ClusterCoordinator cluster(options);
+
+  // Identical workload at every configuration: a lineage chain hopping
+  // round-robin across the shards, so (shards-1)/shards of the edges cross
+  // a machine boundary.
+  std::vector<pass::core::ObjectRef> refs;
+  for (int i = 0; i < kChainFiles; ++i) {
+    int shard = i % shards;
+    std::vector<pass::core::ObjectRef> sources;
+    if (i > 0) {
+      sources.push_back(refs.back());
+    }
+    auto ref = cluster.WriteWithLineage(shard, "/f" + std::to_string(i),
+                                        std::string(512, 'd'), sources);
+    PASS_CHECK(ref.ok());
+    refs.push_back(*ref);
+  }
+
+  RunResult out;
+  double before = cluster.env().clock().seconds();
+  PASS_CHECK(cluster.Sync().ok());
+  out.sync_seconds = cluster.env().clock().seconds() - before;
+  out.recovered = cluster.entries_recovered();
+  out.replicated = cluster.ingest_stats().entries_replicated;
+  out.round_trips = cluster.ingest_stats().batches_sent;
+  out.bytes_sent = cluster.ingest_stats().bytes_sent;
+
+  // Federated ancestry query from the chain tail, against the merged run.
+  std::string query =
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"/f" +
+      std::to_string(kChainFiles - 1) + "\"";
+  FederatedSource federated = cluster.Source(/*portal_shard=*/0);
+  pass::pql::Engine federated_engine(&federated);
+  auto federated_result = federated_engine.Run(query);
+  PASS_CHECK(federated_result.ok());
+
+  pass::waldo::ProvDb merged;
+  cluster.MergeInto(&merged);
+  pass::pql::ProvDbSource merged_source(&merged);
+  pass::pql::Engine merged_engine(&merged_source);
+  auto merged_result = merged_engine.Run(query);
+  PASS_CHECK(merged_result.ok());
+
+  out.query_rows = federated_result->rows.size();
+  out.query_remote_ops = federated.stats().remote_ops;
+  out.federated_matches_merged =
+      Rows(*federated_result) == Rows(*merged_result);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 3: sharded cluster — batched cross-shard ingest and "
+              "federated PQL\n");
+  std::printf("(workload: %d-file lineage chain hopping shards round-robin)\n\n",
+              kChainFiles);
+  std::printf("%6s %6s | %9s %10s %7s %9s %8s | %9s %6s %6s\n", "shards",
+              "batch", "recovered", "replicated", "RTTs", "net-bytes",
+              "sync-s", "query-RPC", "rows", "match");
+
+  const int kShardCounts[] = {1, 2, 4, 8};
+  const size_t kBatchSizes[] = {1, 16, 64, 256};
+  for (int shards : kShardCounts) {
+    for (size_t batch : kBatchSizes) {
+      RunResult r = Run(shards, batch);
+      std::printf("%6d %6zu | %9llu %10llu %7llu %9llu %8.4f | %9llu %6zu %6s\n",
+                  shards, batch, (unsigned long long)r.recovered,
+                  (unsigned long long)r.replicated,
+                  (unsigned long long)r.round_trips,
+                  (unsigned long long)r.bytes_sent, r.sync_seconds,
+                  (unsigned long long)r.query_remote_ops, r.query_rows,
+                  r.federated_matches_merged ? "yes" : "NO");
+      PASS_CHECK(r.federated_matches_merged);
+      if (shards == 1) {
+        break;  // no cross-shard traffic; batch size is irrelevant
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Batching amortizes the per-round-trip latency: at equal\n"
+              "replicated record counts, RTTs drop ~batch-fold and sync time\n"
+              "falls with them, while every federated ancestry query still\n"
+              "matches the merged single-database result.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "src/cluster/cluster.h"
+
+#include "src/lasagna/recovery.h"
+#include "src/util/logging.h"
+
+namespace pass::cluster {
+
+ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
+    : options_(options),
+      env_(options.seed),
+      net_(&env_.clock(), options.net_params) {
+  PASS_CHECK(options.shards >= 1);
+  machines_.reserve(options.shards);
+  worker_pids_.reserve(options.shards);
+  std::vector<waldo::ProvDb*> dbs;
+  for (int shard = 0; shard < options.shards; ++shard) {
+    workloads::MachineOptions machine_options;
+    machine_options.seed = options.seed;
+    machine_options.with_pass = true;
+    machine_options.shared_env = &env_;
+    machine_options.shard = static_cast<uint16_t>(shard);
+    machine_options.cycle_algorithm = options.cycle_algorithm;
+    machine_options.lasagna_options = options.lasagna_options;
+    machines_.push_back(
+        std::make_unique<workloads::Machine>(machine_options));
+    worker_pids_.push_back(machines_.back()->Spawn("clusterd"));
+    dbs.push_back(machines_.back()->db());
+  }
+  queue_ = std::make_unique<IngestQueue>(&net_, std::move(dbs),
+                                         options.ingest_batch_records);
+}
+
+int ClusterCoordinator::OwnerOf(core::PnodeId pnode) const {
+  return queue_->OwnerOf(pnode);
+}
+
+workloads::WorkloadReport ClusterCoordinator::RunWorkload(
+    int shard, const std::string& name) {
+  return workloads::RunWorkload(name, machines_[shard].get());
+}
+
+Result<core::ObjectRef> ClusterCoordinator::WriteWithLineage(
+    int shard, const std::string& path, std::string_view data,
+    const std::vector<core::ObjectRef>& sources) {
+  workloads::Machine& m = *machines_[shard];
+  os::Pid pid = worker_pids_[shard];
+  PASS_RETURN_IF_ERROR(m.kernel().WriteFile(pid, path, data));
+  PASS_ASSIGN_OR_RETURN(core::ObjectRef ref, m.pass()->RefOfPath(path));
+  if (!sources.empty()) {
+    std::vector<core::Record> records;
+    records.reserve(sources.size());
+    for (const core::ObjectRef& source : sources) {
+      records.push_back(core::Record::Input(source));
+    }
+    PASS_RETURN_IF_ERROR(m.pass()->DiscloseRecords(pid, ref, records));
+  }
+  return m.pass()->RefOfPath(path);
+}
+
+Result<core::ObjectRef> ClusterCoordinator::RefOfPath(int shard,
+                                                      const std::string& path) {
+  return machines_[shard]->pass()->RefOfPath(path);
+}
+
+Status ClusterCoordinator::Sync() {
+  for (int shard = 0; shard < shard_count(); ++shard) {
+    workloads::Machine& m = *machines_[shard];
+    lasagna::LasagnaFs* volume = m.volume();
+    PASS_RETURN_IF_ERROR(volume->ForceRotate());
+    // Recover the closed logs exactly as a restarted Waldo would: complete
+    // transactions survive, orphans and torn tails are discarded.
+    PASS_ASSIGN_OR_RETURN(
+        lasagna::RecoveryReport report,
+        lasagna::RunRecovery(&m.basefs(), options_.lasagna_options.log_dir));
+    for (const lasagna::LogEntry& entry : report.recovered_entries) {
+      m.db()->Insert(entry);  // local ingest: no network
+      queue_->Offer(shard, entry);
+      ++entries_recovered_;
+    }
+    for (const std::string& path : volume->ClosedLogPaths()) {
+      PASS_RETURN_IF_ERROR(volume->RemoveLog(path));
+    }
+  }
+  queue_->Flush();
+  return Status::Ok();
+}
+
+FederatedSource ClusterCoordinator::Source(int portal_shard) {
+  std::vector<const waldo::ProvDb*> dbs;
+  dbs.reserve(machines_.size());
+  for (const auto& m : machines_) {
+    dbs.push_back(m->db());
+  }
+  return FederatedSource(std::move(dbs), &net_, portal_shard);
+}
+
+void ClusterCoordinator::MergeInto(waldo::ProvDb* out) const {
+  for (size_t shard = 0; shard < machines_.size(); ++shard) {
+    const waldo::ProvDb* db = machines_[shard]->db();
+    for (core::PnodeId pnode : db->AllPnodes()) {
+      if (static_cast<size_t>(core::PnodeShard(pnode)) != shard) {
+        continue;  // replicated copy; the owner replays it
+      }
+      for (core::Version version : db->VersionsOf(pnode)) {
+        core::ObjectRef ref{pnode, version};
+        for (const core::Record& record : db->RecordsOf(ref)) {
+          out->Insert(lasagna::LogEntry{ref, record});
+        }
+        for (const core::ObjectRef& ancestor : db->Inputs(ref)) {
+          out->Insert(lasagna::LogEntry{ref, core::Record::Input(ancestor)});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pass::cluster

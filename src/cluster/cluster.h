@@ -1,0 +1,97 @@
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+// ClusterCoordinator: a sharded provenance cluster of N simulated machines.
+//
+// Each shard is a full PASSv2 machine (kernel + PassSystem + Lasagna volume
+// + ProvDb) whose pnode allocator stamps the shard id into the top 16 bits,
+// so object ownership is decidable from the pnode alone. All machines share
+// one sim::Env (one timeline) and one sim::Network (the cluster fabric).
+//
+// The coordinator:
+//   * provisions the machines and one resident worker process per shard;
+//   * runs workloads on individual shards;
+//   * builds cross-shard lineage via the DPAPI (a write on shard B can
+//     disclose INPUT edges to objects owned by shard A);
+//   * recovers each shard's Lasagna log into the shard-local ProvDb and
+//     pushes cross-shard entries through the batched IngestQueue
+//     (see src/cluster/ingest.h), charging network per batch;
+//   * hands out FederatedSource instances so PQL runs over the whole
+//     cluster, and a merged single-database view for equivalence checks.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/federated_source.h"
+#include "src/cluster/ingest.h"
+#include "src/sim/env.h"
+#include "src/sim/net.h"
+#include "src/workloads/machine.h"
+#include "src/workloads/workloads.h"
+
+namespace pass::cluster {
+
+struct ClusterOptions {
+  int shards = 4;
+  uint64_t seed = 42;
+  // Records per cross-shard replication batch; 1 = one RTT per record.
+  size_t ingest_batch_records = 64;
+  sim::NetParams net_params;
+  lasagna::LasagnaOptions lasagna_options;
+  core::CycleAlgorithm cycle_algorithm = core::CycleAlgorithm::kCycleAvoidance;
+};
+
+class ClusterCoordinator {
+ public:
+  explicit ClusterCoordinator(ClusterOptions options = ClusterOptions());
+
+  int shard_count() const { return static_cast<int>(machines_.size()); }
+  workloads::Machine& machine(int shard) { return *machines_[shard]; }
+  waldo::ProvDb& shard_db(int shard) { return *machines_[shard]->db(); }
+  sim::Env& env() { return env_; }
+  sim::Network& network() { return net_; }
+
+  // Shard owning a pnode; -1 when the shard bits name no cluster member.
+  int OwnerOf(core::PnodeId pnode) const;
+
+  // Run a named workload ("compile", "postmark", ...) on one shard.
+  workloads::WorkloadReport RunWorkload(int shard, const std::string& name);
+
+  // Write `data` to `path` on `shard` and disclose INPUT edges to `sources`
+  // (typically refs owned by other shards). Returns the file's ref.
+  Result<core::ObjectRef> WriteWithLineage(
+      int shard, const std::string& path, std::string_view data,
+      const std::vector<core::ObjectRef>& sources);
+
+  // Current (pnode, version) of `path` on `shard`.
+  Result<core::ObjectRef> RefOfPath(int shard, const std::string& path);
+
+  // Recover every shard's Lasagna log into its local ProvDb and replicate
+  // cross-shard entries through the batched ingest queue. Idempotent:
+  // consumed logs are removed, so repeated calls only process new records.
+  Status Sync();
+
+  // Federated query source with the portal on `portal_shard`.
+  FederatedSource Source(int portal_shard = 0);
+
+  // Replay every shard's (locally owned) entries into `out`: the database a
+  // single un-sharded machine would have built. For equivalence checks.
+  void MergeInto(waldo::ProvDb* out) const;
+
+  const IngestStats& ingest_stats() const { return queue_->stats(); }
+  uint64_t entries_recovered() const { return entries_recovered_; }
+
+ private:
+  ClusterOptions options_;
+  sim::Env env_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<workloads::Machine>> machines_;
+  std::vector<os::Pid> worker_pids_;
+  std::unique_ptr<IngestQueue> queue_;
+  uint64_t entries_recovered_ = 0;
+};
+
+}  // namespace pass::cluster
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,148 @@
+#include "src/cluster/federated_source.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/core/object.h"
+#include "src/pql/provdb_source.h"
+#include "src/util/strings.h"
+
+namespace pass::cluster {
+namespace {
+
+// Nominal RPC sizes: a routed lookup ships one object ref plus an op code;
+// responses carry ~16 bytes per result row.
+constexpr uint64_t kLookupRequestBytes = 48;
+constexpr uint64_t kPerRowResponseBytes = 16;
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+const waldo::ProvDb* FederatedSource::Route(core::PnodeId pnode,
+                                            uint64_t request_bytes,
+                                            uint64_t response_bytes) const {
+  auto shard = static_cast<size_t>(core::PnodeShard(pnode));
+  if (shard >= shards_.size()) {
+    return nullptr;
+  }
+  if (static_cast<int>(shard) == portal_shard_) {
+    ++stats_.local_ops;
+  } else {
+    ++stats_.remote_ops;
+    net_->RoundTrip(request_bytes, response_bytes);
+  }
+  return shards_[shard];
+}
+
+pql::Node FederatedSource::Latest(const waldo::ProvDb& db,
+                                  core::PnodeId pnode) const {
+  return pql::Node{pnode, db.LatestVersionOf(pnode)};
+}
+
+std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
+  // Scatter-gather: ask every shard for its locally owned members of the
+  // root set. Replicated foreign entries are skipped on the replica — the
+  // owner reports them — so each object appears exactly once.
+  std::string type = name == "object" ? "" : pql::RootSetTypeName(name);
+  std::map<core::PnodeId, pql::Node> gathered;  // sorted by pnode
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    const waldo::ProvDb* db = shards_[shard];
+    std::vector<core::PnodeId> pnodes =
+        name == "object" ? db->AllPnodes() : db->PnodesByType(type);
+    uint64_t rows = 0;
+    for (core::PnodeId pnode : pnodes) {
+      if (core::PnodeShard(pnode) != shard) {
+        continue;
+      }
+      gathered.emplace(pnode, Latest(*db, pnode));
+      ++rows;
+    }
+    if (static_cast<int>(shard) == portal_shard_) {
+      ++stats_.local_ops;
+    } else {
+      ++stats_.remote_ops;
+      net_->RoundTrip(kLookupRequestBytes, kPerRowResponseBytes * (rows + 1));
+    }
+  }
+  std::vector<pql::Node> out;
+  out.reserve(gathered.size());
+  for (const auto& [pnode, node] : gathered) {
+    out.push_back(node);
+  }
+  return out;
+}
+
+pql::ValueSet FederatedSource::Attribute(const pql::Node& node,
+                                         const std::string& attr) const {
+  pql::ValueSet out;
+  std::string want = Lower(attr);
+  if (want == "pnode") {
+    out.push_back(pql::Value(static_cast<int64_t>(node.pnode)));
+    return out;
+  }
+  if (want == "version") {
+    out.push_back(pql::Value(static_cast<int64_t>(node.version)));
+    return out;
+  }
+  const waldo::ProvDb* db =
+      Route(node.pnode, kLookupRequestBytes, 8 * kPerRowResponseBytes);
+  if (db == nullptr) {
+    return out;
+  }
+  for (const core::Record& record : db->RecordsOfAllVersions(node.pnode)) {
+    if (Lower(pql::AttrQueryName(record)) == want) {
+      out.push_back(pql::Value::FromRecordValue(record.value));
+    }
+  }
+  pql::Normalize(&out);
+  return out;
+}
+
+std::vector<pql::Node> FederatedSource::Follow(const pql::Node& node,
+                                               const std::string& link,
+                                               bool inverse) const {
+  if (link != "input") {
+    return {};
+  }
+  // Forward edges live with the subject's owner; reverse edges live with
+  // the ancestor's owner (the ingest queue replicated them there). Either
+  // way the node's own shard has the answer.
+  const waldo::ProvDb* db =
+      Route(node.pnode, kLookupRequestBytes, 8 * kPerRowResponseBytes);
+  if (db == nullptr) {
+    return {};
+  }
+  return inverse ? db->Outputs(node) : db->Inputs(node);
+}
+
+bool FederatedSource::IsLink(const std::string& name) const {
+  return name == "input";
+}
+
+std::string FederatedSource::NodeLabel(const pql::Node& node) const {
+  // One routed lookup: the owner answers name and (fallback) type in the
+  // same RPC, so an unnamed remote node does not cost a second round trip.
+  const waldo::ProvDb* db =
+      Route(node.pnode, kLookupRequestBytes, 4 * kPerRowResponseBytes);
+  std::string name = db == nullptr ? std::string() : db->NameOf(node.pnode);
+  if (name.empty() && db != nullptr) {
+    for (const core::Record& record : db->RecordsOfAllVersions(node.pnode)) {
+      if (record.attr == core::Attr::kType) {
+        name = pql::Value::FromRecordValue(record.value).ToString();
+        break;
+      }
+    }
+  }
+  if (name.empty()) {
+    name = "?";
+  }
+  return StrFormat("%s [%s]", name.c_str(), node.ToString().c_str());
+}
+
+}  // namespace pass::cluster

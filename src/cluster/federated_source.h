@@ -1,0 +1,64 @@
+#ifndef SRC_CLUSTER_FEDERATED_SOURCE_H_
+#define SRC_CLUSTER_FEDERATED_SOURCE_H_
+
+// FederatedSource: a pql::GraphSource over a sharded cluster.
+//
+// The query portal runs on one shard. Every graph operation is routed to
+// the shard owning the pnode it touches (the allocator shard in the top 16
+// bits); operations against a remote shard charge one sim::Network round
+// trip, so PQL queries spanning shards accumulate realistic network cost.
+// Root-set construction is a scatter-gather over every shard.
+//
+// Provided the cross-shard ingest queue has replicated foreign-subject
+// records and foreign-ancestor edges (see src/cluster/ingest.h), a query
+// evaluated here returns exactly what it would over a single ProvDb holding
+// every shard's entries.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pql/graph.h"
+#include "src/sim/net.h"
+#include "src/waldo/provdb.h"
+
+namespace pass::cluster {
+
+struct FederatedStats {
+  uint64_t local_ops = 0;   // served by the portal shard
+  uint64_t remote_ops = 0;  // routed over the network (one RTT each)
+};
+
+class FederatedSource : public pql::GraphSource {
+ public:
+  FederatedSource(std::vector<const waldo::ProvDb*> shards, sim::Network* net,
+                  int portal_shard = 0)
+      : shards_(std::move(shards)), net_(net), portal_shard_(portal_shard) {}
+
+  std::vector<pql::Node> RootSet(const std::string& name) const override;
+  pql::ValueSet Attribute(const pql::Node& node,
+                          const std::string& attr) const override;
+  std::vector<pql::Node> Follow(const pql::Node& node, const std::string& link,
+                                bool inverse) const override;
+  bool IsLink(const std::string& name) const override;
+  std::string NodeLabel(const pql::Node& node) const override;
+
+  const FederatedStats& stats() const { return stats_; }
+
+ private:
+  // Database owning `pnode`, charging a round trip when remote; null when
+  // the shard bits name no cluster member.
+  const waldo::ProvDb* Route(core::PnodeId pnode, uint64_t request_bytes,
+                             uint64_t response_bytes) const;
+  // Latest version node of `pnode` in its owner's database.
+  pql::Node Latest(const waldo::ProvDb& db, core::PnodeId pnode) const;
+
+  std::vector<const waldo::ProvDb*> shards_;
+  sim::Network* net_;
+  int portal_shard_;
+  mutable FederatedStats stats_;
+};
+
+}  // namespace pass::cluster
+
+#endif  // SRC_CLUSTER_FEDERATED_SOURCE_H_

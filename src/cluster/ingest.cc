@@ -1,0 +1,75 @@
+#include "src/cluster/ingest.h"
+
+#include "src/core/object.h"
+
+namespace pass::cluster {
+
+namespace {
+
+// RPC framing overhead per batch (op code, shard id, entry count, ...).
+constexpr uint64_t kBatchHeaderBytes = 32;
+constexpr uint64_t kAckBytes = 16;
+
+}  // namespace
+
+int IngestQueue::OwnerOf(core::PnodeId pnode) const {
+  auto shard = static_cast<size_t>(core::PnodeShard(pnode));
+  if (shard >= shards_.size()) {
+    return -1;
+  }
+  return static_cast<int>(shard);
+}
+
+void IngestQueue::Offer(int source_shard, const lasagna::LogEntry& entry) {
+  ++stats_.entries_examined;
+  int subject_owner = OwnerOf(entry.subject.pnode);
+  if (subject_owner >= 0 && subject_owner != source_shard) {
+    Enqueue(subject_owner, entry);
+  }
+  if (entry.record.attr == core::Attr::kInput) {
+    if (const auto* ancestor =
+            std::get_if<core::ObjectRef>(&entry.record.value)) {
+      int ancestor_owner = OwnerOf(ancestor->pnode);
+      if (ancestor_owner >= 0 && ancestor_owner != source_shard &&
+          ancestor_owner != subject_owner) {
+        Enqueue(ancestor_owner, entry);
+      }
+    }
+  }
+}
+
+void IngestQueue::Enqueue(int destination, const lasagna::LogEntry& entry) {
+  auto& queue = pending_[destination];
+  queue.push_back(entry);
+  if (queue.size() >= batch_records_) {
+    FlushShard(destination);
+  }
+}
+
+void IngestQueue::FlushShard(int destination) {
+  auto& queue = pending_[destination];
+  if (queue.empty()) {
+    return;
+  }
+  std::string payload;
+  for (const lasagna::LogEntry& entry : queue) {
+    lasagna::EncodeLogEntry(&payload, entry);
+  }
+  net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+  ++stats_.batches_sent;
+  stats_.bytes_sent += payload.size();
+  waldo::ProvDb* db = shards_[destination];
+  for (const lasagna::LogEntry& entry : queue) {
+    db->Insert(entry);
+    ++stats_.entries_replicated;
+  }
+  queue.clear();
+}
+
+void IngestQueue::Flush() {
+  for (size_t shard = 0; shard < pending_.size(); ++shard) {
+    FlushShard(static_cast<int>(shard));
+  }
+}
+
+}  // namespace pass::cluster

@@ -1,0 +1,76 @@
+#ifndef SRC_CLUSTER_INGEST_H_
+#define SRC_CLUSTER_INGEST_H_
+
+// Cross-shard ingest/replication queue.
+//
+// Each shard recovers its own Lasagna log into its local ProvDb, so purely
+// local provenance never touches the network. Two kinds of entries must
+// additionally reach a *remote* shard before federated queries are complete:
+//
+//   * a record whose subject pnode is owned by another shard (disclosed
+//     provenance about a remote object), shipped to the owner so attribute
+//     queries routed there see it;
+//
+//   * an INPUT edge whose ancestor pnode is owned by another shard, shipped
+//     to the ancestor's owner so the reverse (descendant) index there lists
+//     the foreign subject — exactly the row ProvDb::Insert would have added
+//     had the whole cluster shared one database.
+//
+// Entries are batched per destination shard; each flush charges one
+// sim::Network round trip for the encoded batch. batch_records = 1 degrades
+// to one RTT per replicated entry, which is what bench/fig3_cluster uses as
+// the unbatched baseline.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lasagna/log_format.h"
+#include "src/sim/net.h"
+#include "src/waldo/provdb.h"
+
+namespace pass::cluster {
+
+struct IngestStats {
+  uint64_t entries_examined = 0;    // everything offered to the queue
+  uint64_t entries_replicated = 0;  // copies delivered to remote shards
+  uint64_t batches_sent = 0;        // network round trips charged
+  uint64_t bytes_sent = 0;          // encoded batch payload bytes
+};
+
+class IngestQueue {
+ public:
+  // `shards[i]` is shard i's local database; `net` models the cluster
+  // fabric. Pnode ownership is the allocator shard in the top 16 bits.
+  IngestQueue(sim::Network* net, std::vector<waldo::ProvDb*> shards,
+              size_t batch_records)
+      : net_(net),
+        shards_(std::move(shards)),
+        batch_records_(batch_records == 0 ? 1 : batch_records),
+        pending_(shards_.size()) {}
+
+  // Shard owning a pnode; -1 when the shard bits name no cluster member.
+  int OwnerOf(core::PnodeId pnode) const;
+
+  // Examine one entry recovered on `source_shard` and enqueue copies for
+  // every remote shard that must index it. Full batches flush immediately.
+  void Offer(int source_shard, const lasagna::LogEntry& entry);
+
+  // Ship every partially filled batch.
+  void Flush();
+
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  void Enqueue(int destination, const lasagna::LogEntry& entry);
+  void FlushShard(int destination);
+
+  sim::Network* net_;
+  std::vector<waldo::ProvDb*> shards_;
+  size_t batch_records_;
+  std::vector<std::vector<lasagna::LogEntry>> pending_;  // per destination
+  IngestStats stats_;
+};
+
+}  // namespace pass::cluster
+
+#endif  // SRC_CLUSTER_INGEST_H_

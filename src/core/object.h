@@ -29,6 +29,13 @@ std::string_view ObjectKindName(ObjectKind kind);
 // Pnode numbers are never recycled. The top 16 bits identify the allocator
 // shard (one per machine / PASS volume family) so pnodes from different
 // machines in a PA-NFS deployment never collide.
+
+// The allocator shard a pnode was minted by — the single ownership rule the
+// cluster layer (replication routing, query routing, merge dedup) builds on.
+constexpr uint16_t PnodeShard(PnodeId pnode) {
+  return static_cast<uint16_t>(pnode >> 48);
+}
+
 class PnodeAllocator {
  public:
   explicit PnodeAllocator(uint16_t shard = 0)

@@ -5,9 +5,7 @@
 #include "src/util/strings.h"
 
 namespace pass::pql {
-namespace {
 
-// Attribute name (lowercase, query-side) for a record attr.
 std::string AttrQueryName(const core::Record& record) {
   switch (record.attr) {
     case core::Attr::kName:
@@ -37,6 +35,19 @@ std::string AttrQueryName(const core::Record& record) {
   }
 }
 
+std::string RootSetTypeName(const std::string& name) {
+  if (name == "process") {
+    return "PROC";
+  }
+  std::string type = name;
+  for (char& c : type) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return type;
+}
+
+namespace {
+
 std::string Lower(std::string s) {
   for (char& c : s) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -47,9 +58,7 @@ std::string Lower(std::string s) {
 }  // namespace
 
 Node ProvDbSource::Latest(core::PnodeId pnode) const {
-  auto versions = db_->VersionsOf(pnode);
-  core::Version latest = versions.empty() ? 0 : versions.back();
-  return Node{pnode, latest};
+  return Node{pnode, db_->LatestVersionOf(pnode)};
 }
 
 std::vector<Node> ProvDbSource::RootSet(const std::string& name) const {
@@ -61,16 +70,7 @@ std::vector<Node> ProvDbSource::RootSet(const std::string& name) const {
     return out;
   }
   // Root sets are TYPE-based: file -> FILE, process -> PROC, etc.
-  std::string type;
-  if (name == "process") {
-    type = "PROC";
-  } else {
-    type = name;
-    for (char& c : type) {
-      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    }
-  }
-  for (core::PnodeId pnode : db_->PnodesByType(type)) {
+  for (core::PnodeId pnode : db_->PnodesByType(RootSetTypeName(name))) {
     out.push_back(Latest(pnode));
   }
   return out;

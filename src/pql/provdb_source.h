@@ -11,6 +11,16 @@
 
 namespace pass::pql {
 
+// Attribute name (lowercase, query-side) for a record attr — the mapping
+// shared by every GraphSource over provenance records ("name", "type",
+// "pid", annotation keys, ...).
+std::string AttrQueryName(const core::Record& record);
+
+// TYPE attribute value backing a root-set name ("process" -> "PROC",
+// otherwise uppercased). "object" is not type-backed and never reaches
+// this mapping.
+std::string RootSetTypeName(const std::string& name);
+
 class ProvDbSource : public GraphSource {
  public:
   explicit ProvDbSource(const waldo::ProvDb* db) : db_(db) {}

@@ -55,6 +55,24 @@ void KvStore::Delete(std::string_view key) {
   index_.erase(it);
   AppendEntry(key, "", /*tombstone=*/true);
   ++tombstones_;
+  MaybeAutoCompact();
+}
+
+uint64_t KvStore::TotalSegmentBytes() const {
+  uint64_t total = 0;
+  for (const std::string& segment : segments_) {
+    total += segment.size();
+  }
+  return total;
+}
+
+void KvStore::MaybeAutoCompact() {
+  if (!auto_compact_ || dead_bytes_ == 0) {
+    return;
+  }
+  if (dead_bytes_ * 2 > TotalSegmentBytes()) {
+    Compact();
+  }
 }
 
 void KvStore::Scan(std::string_view prefix,
@@ -111,6 +129,9 @@ std::string KvStore::Serialize() const {
 
 Result<KvStore> KvStore::Deserialize(std::string_view image) {
   KvStore store;
+  // Replay with auto-compaction off so the restored segment layout is
+  // byte-faithful to the serialized one; re-enable once rebuilt.
+  store.auto_compact_ = false;
   Decoder in(image);
   while (!in.done()) {
     PASS_ASSIGN_OR_RETURN(uint32_t len, in.U32());
@@ -139,6 +160,7 @@ Result<KvStore> KvStore::Deserialize(std::string_view image) {
       (void)unused;
     }
   }
+  store.auto_compact_ = true;
   return store;
 }
 

@@ -30,8 +30,11 @@ struct KvStats {
 
 class KvStore {
  public:
-  explicit KvStore(uint64_t segment_bytes = 4u << 20)
-      : segment_bytes_(segment_bytes) {
+  // `auto_compact`: rewrite segments automatically once dead bytes exceed
+  // half of the total segment bytes (heavy Delete churn would otherwise let
+  // the dead tail of the log grow without bound).
+  explicit KvStore(uint64_t segment_bytes = 4u << 20, bool auto_compact = true)
+      : segment_bytes_(segment_bytes), auto_compact_(auto_compact) {
     segments_.emplace_back();
   }
 
@@ -64,8 +67,11 @@ class KvStore {
  private:
   void AppendEntry(std::string_view key, std::string_view value,
                    bool tombstone);
+  void MaybeAutoCompact();
+  uint64_t TotalSegmentBytes() const;
 
   uint64_t segment_bytes_;
+  bool auto_compact_ = true;
   std::vector<std::string> segments_;
   // Live index: key -> values (the in-memory read path).
   std::map<std::string, std::vector<std::string>, std::less<>> index_;

@@ -1,5 +1,7 @@
 #include "src/waldo/provdb.h"
 
+#include <cstdlib>
+
 #include "src/util/strings.h"
 
 namespace pass::waldo {
@@ -93,6 +95,14 @@ std::vector<core::Version> ProvDb::VersionsOf(core::PnodeId pnode) const {
   return std::vector<core::Version>(it->second.begin(), it->second.end());
 }
 
+core::Version ProvDb::LatestVersionOf(core::PnodeId pnode) const {
+  auto it = versions_.find(pnode);
+  if (it == versions_.end() || it->second.empty()) {
+    return 0;
+  }
+  return *it->second.rbegin();
+}
+
 std::vector<core::PnodeId> ProvDb::PnodesByName(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) {
@@ -121,6 +131,97 @@ std::vector<core::PnodeId> ProvDb::AllPnodes() const {
     out.push_back(pnode);
   }
   return out;
+}
+
+namespace {
+
+// Parse "<prefix>/<%016llx pnode>/<%08x version>" back into a ref.
+Result<core::ObjectRef> ParseRefKey(std::string_view key) {
+  if (key.size() != 2 + 16 + 1 + 8 || key[1] != '/' || key[18] != '/') {
+    return Corrupt("provdb: malformed ref key");
+  }
+  core::ObjectRef ref;
+  ref.pnode = std::strtoull(std::string(key.substr(2, 16)).c_str(), nullptr, 16);
+  ref.version = static_cast<core::Version>(
+      std::strtoul(std::string(key.substr(19, 8)).c_str(), nullptr, 16));
+  return ref;
+}
+
+}  // namespace
+
+std::string ProvDb::Serialize() const {
+  std::string out;
+  PutBytes(&out, records_.Serialize());
+  PutBytes(&out, indexes_.Serialize());
+  return out;
+}
+
+Result<ProvDb> ProvDb::Deserialize(std::string_view image) {
+  Decoder in(image);
+  PASS_ASSIGN_OR_RETURN(std::string records_image, in.Bytes());
+  PASS_ASSIGN_OR_RETURN(std::string indexes_image, in.Bytes());
+  if (!in.done()) {
+    return Corrupt("provdb: trailing bytes after store images");
+  }
+  PASS_ASSIGN_OR_RETURN(KvStore records, KvStore::Deserialize(records_image));
+  PASS_ASSIGN_OR_RETURN(KvStore indexes, KvStore::Deserialize(indexes_image));
+
+  ProvDb db;
+  db.records_ = std::move(records);
+  db.indexes_ = std::move(indexes);
+
+  // Rebuild the in-memory mirrors. The records store carries every
+  // attribute record; the 'i/' index carries every edge; everything else
+  // ('o/', 'n/', 't/') is derived.
+  Status failure = Status::Ok();
+  db.records_.Scan("r/", [&](std::string_view key, std::string_view value) {
+    auto ref = ParseRefKey(key);
+    if (!ref.ok()) {
+      failure = ref.status();
+      return;
+    }
+    Decoder body(value);
+    auto record = core::DecodeRecord(&body);
+    if (!record.ok()) {
+      failure = record.status();
+      return;
+    }
+    db.versions_[ref->pnode].insert(ref->version);
+    if (record->attr == core::Attr::kName) {
+      if (const auto* name = std::get_if<std::string>(&record->value)) {
+        db.by_name_[*name].insert(ref->pnode);
+        db.names_[ref->pnode] = *name;
+      }
+    } else if (record->attr == core::Attr::kType) {
+      if (const auto* type = std::get_if<std::string>(&record->value)) {
+        db.by_type_[*type].insert(ref->pnode);
+      }
+    }
+    db.attrs_[*ref].push_back(*std::move(record));
+    ++db.record_count_;
+  });
+  db.indexes_.Scan("i/", [&](std::string_view key, std::string_view value) {
+    auto subject = ParseRefKey(key);
+    if (!subject.ok()) {
+      failure = subject.status();
+      return;
+    }
+    Decoder body(value);
+    auto ancestor = core::DecodeObjectRef(&body);
+    if (!ancestor.ok()) {
+      failure = ancestor.status();
+      return;
+    }
+    db.inputs_[*subject].push_back(*ancestor);
+    db.outputs_[*ancestor].push_back(*subject);
+    db.versions_[subject->pnode].insert(subject->version);
+    db.versions_[ancestor->pnode].insert(ancestor->version);
+    ++db.edge_count_;
+  });
+  if (!failure.ok()) {
+    return failure;
+  }
+  return db;
 }
 
 ProvDbStats ProvDb::stats() const {

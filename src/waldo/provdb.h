@@ -53,6 +53,8 @@ class ProvDb {
   std::vector<core::ObjectRef> Outputs(const core::ObjectRef& ref) const;
   // Known versions of a pnode (ascending).
   std::vector<core::Version> VersionsOf(core::PnodeId pnode) const;
+  // Latest known version of a pnode (0 when the pnode is unknown).
+  core::Version LatestVersionOf(core::PnodeId pnode) const;
   // Lookup by NAME / TYPE attribute.
   std::vector<core::PnodeId> PnodesByName(std::string_view name) const;
   std::vector<core::PnodeId> PnodesByType(std::string_view type) const;
@@ -61,6 +63,16 @@ class ProvDb {
   std::vector<core::PnodeId> AllPnodes() const;
 
   ProvDbStats stats() const;
+
+  // Persist the database as its two KvStore images / rebuild it from them.
+  // The in-memory mirrors are reconstructed from the stores: a restored
+  // database returns the same result *sets* for every query. Per-subject
+  // record order is preserved (the stores keep per-key insertion order);
+  // orderings that interleave subjects — Outputs() of a shared ancestor,
+  // NameOf() under renames across versions — follow store key order, which
+  // can differ from the original's insertion order.
+  std::string Serialize() const;
+  static Result<ProvDb> Deserialize(std::string_view image);
 
   const KvStore& record_store() const { return records_; }
   const KvStore& index_store() const { return indexes_; }

@@ -1,0 +1,226 @@
+// Tests for the sharded provenance cluster: shard provisioning, batched
+// cross-shard ingest/replication, and federated PQL queries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/federated_source.h"
+#include "src/cluster/ingest.h"
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+
+namespace pass::cluster {
+namespace {
+
+ClusterOptions SmallCluster(int shards, size_t batch = 16) {
+  ClusterOptions options;
+  options.shards = shards;
+  options.ingest_batch_records = batch;
+  return options;
+}
+
+// Build a lineage chain that hops across every shard round-robin:
+// /f0 on shard 0, /f1 on shard 1 <- /f0, /f2 on shard 2 <- /f1, ...
+std::vector<core::ObjectRef> BuildCrossShardChain(ClusterCoordinator* cluster,
+                                                  int files) {
+  std::vector<core::ObjectRef> refs;
+  for (int i = 0; i < files; ++i) {
+    int shard = i % cluster->shard_count();
+    std::string path = "/f" + std::to_string(i);
+    std::vector<core::ObjectRef> sources;
+    if (i > 0) {
+      sources.push_back(refs.back());
+    }
+    auto ref = cluster->WriteWithLineage(shard, path, "payload-" + path,
+                                         sources);
+    EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+    refs.push_back(*ref);
+  }
+  return refs;
+}
+
+// Render a query result as a multiset of value strings (row order is not
+// part of the contract being compared).
+std::multiset<std::string> ResultSet(const pql::QueryResult& result) {
+  std::multiset<std::string> out;
+  for (const auto& row : result.rows) {
+    std::string line;
+    for (const pql::Value& value : row) {
+      line += value.ToString();
+      line += '|';
+    }
+    out.insert(line);
+  }
+  return out;
+}
+
+TEST(ClusterTest, ProvisionsShardsWithDisjointPnodeSpaces) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  ASSERT_EQ(cluster.shard_count(), 4);
+  for (int shard = 0; shard < 4; ++shard) {
+    auto ref = cluster.WriteWithLineage(shard, "/probe", "x", {});
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(cluster.OwnerOf(ref->pnode), shard);
+  }
+  EXPECT_EQ(cluster.OwnerOf(core::PnodeId{200} << 48), -1);
+}
+
+TEST(ClusterTest, SyncRecoversEachShardLogIntoLocalDb) {
+  ClusterCoordinator cluster(SmallCluster(3));
+  for (int shard = 0; shard < 3; ++shard) {
+    ASSERT_TRUE(cluster
+                    .WriteWithLineage(shard, "/local" + std::to_string(shard),
+                                      "data", {})
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.Sync().ok());
+  EXPECT_GT(cluster.entries_recovered(), 0u);
+  for (int shard = 0; shard < 3; ++shard) {
+    std::string name = "/local" + std::to_string(shard);
+    EXPECT_EQ(cluster.shard_db(shard).PnodesByName(name).size(), 1u)
+        << "shard " << shard;
+    // Purely local provenance does not replicate.
+    for (int other = 0; other < 3; ++other) {
+      if (other != shard) {
+        EXPECT_TRUE(cluster.shard_db(other).PnodesByName(name).empty());
+      }
+    }
+    // Consumed logs are gone: a second sync is a no-op.
+  }
+  uint64_t recovered = cluster.entries_recovered();
+  uint64_t batches = cluster.ingest_stats().batches_sent;
+  ASSERT_TRUE(cluster.Sync().ok());
+  EXPECT_EQ(cluster.entries_recovered(), recovered);
+  EXPECT_EQ(cluster.ingest_stats().batches_sent, batches);
+}
+
+TEST(ClusterTest, CrossShardEdgesReplicateToAncestorOwner) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  auto a = cluster.WriteWithLineage(0, "/a", "aaa", {});
+  ASSERT_TRUE(a.ok());
+  auto b = cluster.WriteWithLineage(1, "/b", "bbb", {*a});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  EXPECT_GT(cluster.ingest_stats().entries_replicated, 0u);
+  EXPECT_GT(cluster.ingest_stats().batches_sent, 0u);
+
+  // Shard 1 (subject owner) has the forward edge.
+  EXPECT_FALSE(cluster.shard_db(1).Inputs(*b).empty());
+  // Shard 0 (ancestor owner) got the replicated reverse edge: /a's
+  // descendants include /b even though /b lives on another machine.
+  auto outputs = cluster.shard_db(0).Outputs(*a);
+  ASSERT_FALSE(outputs.empty());
+  EXPECT_EQ(outputs[0].pnode, b->pnode);
+}
+
+TEST(ClusterTest, FederatedFollowRoutesAcrossShards) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  auto refs = BuildCrossShardChain(&cluster, 8);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource source = cluster.Source(/*portal_shard=*/0);
+  uint64_t trips_before = cluster.network().stats().round_trips;
+
+  // Ancestors of /f5 (shard 1) include /f4 (shard 0).
+  auto ancestors = source.Follow(refs[5], "input", /*inverse=*/false);
+  bool found = false;
+  for (const auto& node : ancestors) {
+    found = found || node.pnode == refs[4].pnode;
+  }
+  EXPECT_TRUE(found);
+  // Descendants of /f4 (shard 0) include /f5 (shard 1) via the replicated
+  // reverse edge.
+  auto descendants = source.Follow(refs[4], "input", /*inverse=*/true);
+  found = false;
+  for (const auto& node : descendants) {
+    found = found || node.pnode == refs[5].pnode;
+  }
+  EXPECT_TRUE(found);
+  // The /f5 lookup was remote from portal 0 and charged the network.
+  EXPECT_GT(source.stats().remote_ops, 0u);
+  EXPECT_GT(cluster.network().stats().round_trips, trips_before);
+}
+
+// Acceptance: a PQL ancestry query over a 4-shard cluster returns the same
+// result set as the equivalent single-merged-database run.
+TEST(ClusterTest, FederatedAncestryQueryMatchesMergedSingleDb) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  auto refs = BuildCrossShardChain(&cluster, 12);
+  // A second, unrelated lineage island on shard 2.
+  ASSERT_TRUE(cluster.WriteWithLineage(2, "/island", "iii", {}).ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  waldo::ProvDb merged;
+  cluster.MergeInto(&merged);
+  pql::ProvDbSource merged_source(&merged);
+  FederatedSource federated_source = cluster.Source(/*portal_shard=*/0);
+
+  const std::string kQueries[] = {
+      // Full ancestry closure of the chain tail, crossing all 4 shards.
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"/f11\"",
+      // Descendant closure from the chain head.
+      "select D from Provenance.file as F F.~input* as D "
+      "where F.name = \"/f0\"",
+      // Direct ancestors only.
+      "select A from Provenance.file as F F.input as A "
+      "where F.name = \"/f7\"",
+      // Typed root set spanning every shard.
+      "select F.name from Provenance.file as F",
+  };
+  for (const std::string& query : kQueries) {
+    pql::Engine merged_engine(&merged_source);
+    pql::Engine federated_engine(&federated_source);
+    auto want = merged_engine.Run(query);
+    ASSERT_TRUE(want.ok()) << query << ": " << want.status().ToString();
+    auto got = federated_engine.Run(query);
+    ASSERT_TRUE(got.ok()) << query << ": " << got.status().ToString();
+    EXPECT_EQ(ResultSet(*got), ResultSet(*want)) << query;
+    EXPECT_FALSE(want->rows.empty()) << query;
+  }
+}
+
+TEST(ClusterTest, BatchedIngestReducesRoundTripsAtEqualRecordCounts) {
+  auto run = [](size_t batch) {
+    ClusterCoordinator cluster(SmallCluster(2, batch));
+    BuildCrossShardChain(&cluster, 30);
+    EXPECT_TRUE(cluster.Sync().ok());
+    return std::make_pair(cluster.ingest_stats(),
+                          cluster.network().stats().round_trips);
+  };
+  auto [unbatched_stats, unbatched_trips] = run(1);
+  auto [batched_stats, batched_trips] = run(64);
+
+  // Same records crossed the wire either way.
+  ASSERT_GT(unbatched_stats.entries_replicated, 0u);
+  EXPECT_EQ(batched_stats.entries_replicated,
+            unbatched_stats.entries_replicated);
+  // Batching collapses round trips.
+  EXPECT_LT(batched_stats.batches_sent, unbatched_stats.batches_sent);
+  EXPECT_LT(batched_trips, unbatched_trips);
+  EXPECT_EQ(unbatched_stats.batches_sent, unbatched_stats.entries_replicated);
+}
+
+TEST(ClusterTest, SingleShardClusterNeedsNoNetwork) {
+  ClusterCoordinator cluster(SmallCluster(1));
+  BuildCrossShardChain(&cluster, 5);
+  ASSERT_TRUE(cluster.Sync().ok());
+  EXPECT_EQ(cluster.ingest_stats().entries_replicated, 0u);
+  EXPECT_EQ(cluster.network().stats().round_trips, 0u);
+
+  FederatedSource source = cluster.Source(0);
+  pql::Engine engine(&source);
+  auto result = engine.Run(
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"/f4\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->rows.size(), 5u);
+  EXPECT_EQ(cluster.network().stats().round_trips, 0u);
+}
+
+}  // namespace
+}  // namespace pass::cluster

@@ -98,5 +98,68 @@ TEST(DistributorTest, CyclicCachedEdgesTerminate) {
   EXPECT_EQ(BundleRecordCount(bundle), 2u);
 }
 
+TEST(DistributorTest, SelfLoopDrainsOnce) {
+  Distributor distributor;
+  distributor.Cache(ObjectRef{7, 0}, Record::Type("PROC"));
+  distributor.Cache(ObjectRef{7, 0}, Record::Input(ObjectRef{7, 0}));
+  Bundle bundle;
+  distributor.DrainClosure(7, &bundle);
+  ASSERT_EQ(bundle.size(), 1u);
+  EXPECT_EQ(bundle[0].target, (ObjectRef{7, 0}));
+  EXPECT_EQ(bundle[0].records.size(), 2u);
+  EXPECT_EQ(distributor.stats().objects_flushed, 1u);
+  EXPECT_FALSE(distributor.HasCached(7));
+}
+
+TEST(DistributorTest, CycleReachedThroughChainDrainsWholeLoop) {
+  // 50 -> 40 -> {30 -> 20 -> 10 -> 30}: draining the chain head must pull
+  // in the full cycle exactly once and leave nothing cached.
+  Distributor distributor;
+  distributor.Cache(ObjectRef{50, 0}, Record::Input(ObjectRef{40, 0}));
+  distributor.Cache(ObjectRef{40, 0}, Record::Input(ObjectRef{30, 0}));
+  distributor.Cache(ObjectRef{30, 0}, Record::Input(ObjectRef{20, 0}));
+  distributor.Cache(ObjectRef{20, 0}, Record::Input(ObjectRef{10, 0}));
+  distributor.Cache(ObjectRef{10, 0}, Record::Input(ObjectRef{30, 0}));
+  distributor.Cache(ObjectRef{10, 0}, Record::Type("PROC"));
+
+  Bundle bundle;
+  distributor.DrainClosure(50, &bundle);
+  std::set<PnodeId> flushed;
+  size_t total_records = 0;
+  for (const BundleEntry& entry : bundle) {
+    flushed.insert(entry.target.pnode);
+    total_records += entry.records.size();
+  }
+  EXPECT_EQ(flushed, (std::set<PnodeId>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(total_records, 6u);
+  EXPECT_EQ(distributor.stats().objects_flushed, 5u);
+  EXPECT_EQ(distributor.stats().records_flushed, 6u);
+  EXPECT_EQ(distributor.CachedObjectCount(), 0u);
+
+  // The cycle is gone: a second drain from inside it is a no-op.
+  Bundle again;
+  distributor.DrainClosure(30, &again);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(DistributorTest, TwoEntryCycleFlushedRecordsCountedOnce) {
+  Distributor distributor;
+  distributor.Cache(ObjectRef{1, 0}, Record::Input(ObjectRef{2, 0}));
+  distributor.Cache(ObjectRef{1, 0}, Record::Name("a"));
+  distributor.Cache(ObjectRef{2, 0}, Record::Input(ObjectRef{1, 0}));
+  distributor.Cache(ObjectRef{2, 0}, Record::Name("b"));
+  Bundle bundle;
+  distributor.DrainClosure(2, &bundle);
+  EXPECT_EQ(BundleRecordCount(bundle), 4u);
+  EXPECT_EQ(distributor.stats().records_flushed, 4u);
+  EXPECT_EQ(distributor.stats().records_cached, 4u);
+  // No duplicate bundle entries per (pnode, version).
+  std::set<std::pair<PnodeId, Version>> seen;
+  for (const BundleEntry& entry : bundle) {
+    EXPECT_TRUE(
+        seen.emplace(entry.target.pnode, entry.target.version).second);
+  }
+}
+
 }  // namespace
 }  // namespace pass::core

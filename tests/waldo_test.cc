@@ -60,7 +60,7 @@ TEST(KvStoreTest, SegmentsRotate) {
 }
 
 TEST(KvStoreTest, CompactReclaimsDeletedSpace) {
-  KvStore store(/*segment_bytes=*/1024);
+  KvStore store(/*segment_bytes=*/1024, /*auto_compact=*/false);
   for (int i = 0; i < 100; ++i) {
     store.Put("key" + std::to_string(i), std::string(64, 'v'));
   }
@@ -74,6 +74,37 @@ TEST(KvStoreTest, CompactReclaimsDeletedSpace) {
   // Survivors intact.
   for (int i = 90; i < 100; ++i) {
     EXPECT_TRUE(store.Contains("key" + std::to_string(i)));
+  }
+}
+
+TEST(KvStoreTest, AutoCompactionReclaimsSpaceUnderDeleteChurn) {
+  // Heavy Delete churn: without auto-compaction the segment log would keep
+  // every dead entry and every tombstone forever.
+  KvStore store(/*segment_bytes=*/1024);
+  KvStore baseline(/*segment_bytes=*/1024, /*auto_compact=*/false);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      std::string key = "churn" + std::to_string(i);
+      std::string value(64, static_cast<char>('a' + round));
+      store.Put(key, value);
+      baseline.Put(key, value);
+    }
+    for (int i = 0; i < 45; ++i) {
+      std::string key = "churn" + std::to_string(i);
+      store.Delete(key);
+      baseline.Delete(key);
+    }
+  }
+  EXPECT_GT(store.stats().compactions, 0u);
+  EXPECT_LT(store.stats().bytes, baseline.stats().bytes / 2);
+  // Dead bytes stay bounded by the live share (3x allows frame overhead,
+  // which live_bytes does not count).
+  EXPECT_LE(store.stats().bytes, 3 * store.stats().live_bytes + 1024);
+  // Survivors are intact and multi-values preserved.
+  for (int i = 45; i < 50; ++i) {
+    auto values = store.Get("churn" + std::to_string(i));
+    ASSERT_EQ(values.size(), 10u);
+    EXPECT_EQ(values.back(), std::string(64, 'j'));
   }
 }
 
@@ -155,6 +186,43 @@ TEST(ProvDbTest, StatsTrackStores) {
   EXPECT_EQ(stats.edges, 1u);
   EXPECT_GT(stats.db_bytes, 0u);
   EXPECT_GT(stats.index_bytes, 0u);
+}
+
+TEST(ProvDbTest, SerializeDeserializePreservesQueryResults) {
+  ProvDb db;
+  db.Insert(Entry({1, 0}, core::Record::Name("/out")));
+  db.Insert(Entry({1, 0}, core::Record::Type("FILE")));
+  db.Insert(Entry({1, 0}, core::Record::Input({2, 0})));
+  db.Insert(Entry({1, 2}, core::Record::Input({1, 1})));
+  db.Insert(Entry({2, 0}, core::Record::Type("PROC")));
+  db.Insert(Entry({2, 0}, core::Record::Of(core::Attr::kPid, int64_t{42})));
+  db.Insert(Entry({3, 0}, core::Record::Annotation("step", int64_t{7})));
+
+  auto restored = ProvDb::Deserialize(db.Serialize());
+  ASSERT_TRUE(restored.ok());
+
+  EXPECT_EQ(restored->RecordsOf({1, 0}), db.RecordsOf({1, 0}));
+  EXPECT_EQ(restored->RecordsOfAllVersions(1), db.RecordsOfAllVersions(1));
+  EXPECT_EQ(restored->Inputs({1, 0}), db.Inputs({1, 0}));
+  EXPECT_EQ(restored->Inputs({1, 2}), db.Inputs({1, 2}));
+  EXPECT_EQ(restored->Outputs({2, 0}), db.Outputs({2, 0}));
+  EXPECT_EQ(restored->VersionsOf(1), db.VersionsOf(1));
+  EXPECT_EQ(restored->PnodesByName("/out"), db.PnodesByName("/out"));
+  EXPECT_EQ(restored->PnodesByType("PROC"), db.PnodesByType("PROC"));
+  EXPECT_EQ(restored->NameOf(1), "/out");
+  EXPECT_EQ(restored->AllPnodes(), db.AllPnodes());
+  EXPECT_EQ(restored->RecordsOf({3, 0}), db.RecordsOf({3, 0}));
+  EXPECT_EQ(restored->stats().records, db.stats().records);
+  EXPECT_EQ(restored->stats().edges, db.stats().edges);
+  EXPECT_EQ(restored->stats().objects, db.stats().objects);
+}
+
+TEST(ProvDbTest, DeserializeRejectsCorruptImage) {
+  ProvDb db;
+  db.Insert(Entry({1, 0}, core::Record::Name("/out")));
+  std::string image = db.Serialize();
+  image[image.size() - 3] ^= 0x40;
+  EXPECT_FALSE(ProvDb::Deserialize(image).ok());
 }
 
 // ---- Waldo daemon ------------------------------------------------------------
