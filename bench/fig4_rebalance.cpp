@@ -1,0 +1,197 @@
+// Figure 4 (this repo's extension): live pnode-range rebalancing.
+//
+// Runs a heavily skewed workload — every write lands on shard 0 of a
+// 4-shard cluster, with a trickle of writes elsewhere so the skew is
+// finite — then lets ClusterCoordinator::Rebalance() migrate pnode ranges
+// through the ShardMap until the max/min owned-row ratio falls under the
+// threshold. Reports per-shard sizes before/after, the migration network
+// cost (round trips, bytes, elapsed virtual time), and verifies that
+// federated queries still equal the merged single-database answer.
+//
+// Usage: fig4_rebalance [hot_files]   (default 160; CI runs a small scale)
+//
+// Machine-readable output: lines beginning with "csv," form two tables —
+//   csv,shard_sizes,phase,shard,records,edges,owned_rows
+//   csv,rebalance,hot_files,threshold,migrations,entries,rtts,bytes,
+//       migrate_s,ratio_before,ratio_after,match
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/federated_source.h"
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+#include "src/util/logging.h"
+
+namespace {
+
+using pass::cluster::ClusterCoordinator;
+using pass::cluster::ClusterOptions;
+using pass::cluster::FederatedSource;
+using pass::cluster::RebalanceReport;
+using pass::cluster::ShardSize;
+
+constexpr int kShards = 4;
+constexpr double kThreshold = 1.5;
+
+std::vector<std::string> Rows(const pass::pql::QueryResult& result) {
+  std::vector<std::string> rows;
+  for (const auto& row : result.rows) {
+    std::string line;
+    for (const pass::pql::Value& value : row) {
+      line += value.ToString();
+      line += '|';
+    }
+    rows.push_back(line);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool FederatedMatchesMerged(ClusterCoordinator* cluster,
+                            const std::string& query) {
+  FederatedSource federated = cluster->Source(/*portal_shard=*/0);
+  pass::pql::Engine federated_engine(&federated);
+  auto federated_result = federated_engine.Run(query);
+  PASS_CHECK(federated_result.ok());
+
+  pass::waldo::ProvDb merged;
+  cluster->MergeInto(&merged);
+  pass::pql::ProvDbSource merged_source(&merged);
+  pass::pql::Engine merged_engine(&merged_source);
+  auto merged_result = merged_engine.Run(query);
+  PASS_CHECK(merged_result.ok());
+  return !federated_result->rows.empty() &&
+         Rows(*federated_result) == Rows(*merged_result);
+}
+
+void PrintSizes(const char* phase, const std::vector<ShardSize>& sizes) {
+  std::printf("%-8s", phase);
+  for (const ShardSize& size : sizes) {
+    std::printf("  shard owned=%-6llu rec=%-6llu edge=%-5llu |",
+                (unsigned long long)size.owned_rows,
+                (unsigned long long)size.records,
+                (unsigned long long)size.edges);
+  }
+  std::printf("\n");
+  for (size_t shard = 0; shard < sizes.size(); ++shard) {
+    std::printf("csv,shard_sizes,%s,%zu,%llu,%llu,%llu\n", phase, shard,
+                (unsigned long long)sizes[shard].records,
+                (unsigned long long)sizes[shard].edges,
+                (unsigned long long)sizes[shard].owned_rows);
+  }
+}
+
+double Skew(const std::vector<ShardSize>& sizes) {
+  uint64_t max_rows = 0;
+  uint64_t min_rows = ~0ull;
+  for (const ShardSize& size : sizes) {
+    max_rows = std::max(max_rows, size.owned_rows);
+    min_rows = std::min(min_rows, size.owned_rows);
+  }
+  return min_rows == 0 ? 0 : static_cast<double>(max_rows) / min_rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int hot_files = argc > 1 ? std::atoi(argv[1]) : 160;
+  // Below ~32 hot files the per-pnode row granularity is too coarse for the
+  // 1.5 threshold to be reachable at all; refuse rather than fail the gate.
+  PASS_CHECK(hot_files >= 32);
+  int cold_files = std::max(1, hot_files / 16);  // ≥16x initial skew
+
+  std::printf("Figure 4: live pnode-range rebalancing over the ShardMap\n");
+  std::printf("(%d shards; %d-file lineage chain on shard 0, %d files on "
+              "each other shard)\n\n",
+              kShards, hot_files, cold_files);
+
+  ClusterOptions options;
+  options.shards = kShards;
+  options.ingest_batch_records = 32;
+  ClusterCoordinator cluster(options);
+
+  // Skewed workload: one long lineage chain entirely on shard 0...
+  std::vector<pass::core::ObjectRef> refs;
+  for (int i = 0; i < hot_files; ++i) {
+    std::vector<pass::core::ObjectRef> sources;
+    if (i > 0) {
+      sources.push_back(refs.back());
+    }
+    auto ref = cluster.WriteWithLineage(0, "/hot" + std::to_string(i),
+                                        std::string(256, 'h'), sources);
+    PASS_CHECK(ref.ok());
+    refs.push_back(*ref);
+  }
+  // ...plus a trickle on the other shards.
+  for (int shard = 1; shard < kShards; ++shard) {
+    for (int i = 0; i < cold_files; ++i) {
+      PASS_CHECK(cluster
+                     .WriteWithLineage(shard,
+                                       "/cold" + std::to_string(shard) + "_" +
+                                           std::to_string(i),
+                                       "c", {})
+                     .ok());
+    }
+  }
+  PASS_CHECK(cluster.Sync().ok());
+
+  auto before = cluster.shard_sizes();
+  double skew_before = Skew(before);
+  PrintSizes("before", before);
+  PASS_CHECK(skew_before == 0 || skew_before >= 4.0);  // genuinely skewed
+
+  const std::string query =
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"/hot" +
+      std::to_string(hot_files - 1) + "\"";
+  PASS_CHECK(FederatedMatchesMerged(&cluster, query));
+
+  uint64_t trips_before = cluster.network().stats().round_trips;
+  double seconds_before = cluster.env().clock().seconds();
+  RebalanceReport report = cluster.Rebalance(kThreshold);
+  double migrate_seconds = cluster.env().clock().seconds() - seconds_before;
+  uint64_t migrate_trips =
+      cluster.network().stats().round_trips - trips_before;
+
+  auto after = cluster.shard_sizes();
+  PrintSizes("after", after);
+
+  const auto& migration = cluster.migration_stats();
+  std::printf("\nrebalance: %d migrations, %llu entries shipped "
+              "(%llu already replicated), %llu RTTs, %llu bytes, %.4f s\n",
+              report.migrations,
+              (unsigned long long)migration.entries_shipped,
+              (unsigned long long)migration.entries_skipped,
+              (unsigned long long)migrate_trips,
+              (unsigned long long)migration.bytes, migrate_seconds);
+  std::printf("owned-row ratio: %.1f -> %.2f (threshold %.2f)\n",
+              skew_before, report.ratio, kThreshold);
+
+  bool match = FederatedMatchesMerged(&cluster, query);
+  std::printf("federated ancestry query %s the merged single-db answer\n",
+              match ? "matches" : "DOES NOT match");
+
+  std::printf("csv,rebalance,%d,%.2f,%d,%llu,%llu,%llu,%.4f,%.2f,%.2f,%s\n",
+              hot_files, kThreshold, report.migrations,
+              (unsigned long long)migration.entries_shipped,
+              (unsigned long long)migrate_trips,
+              (unsigned long long)migration.bytes, migrate_seconds,
+              skew_before, report.ratio, match ? "yes" : "no");
+
+  // Regression gates (CI runs this binary at small scale).
+  PASS_CHECK(report.converged);
+  PASS_CHECK(report.ratio <= kThreshold);
+  PASS_CHECK(report.migrations > 0);
+  PASS_CHECK(migrate_trips > 0);
+  PASS_CHECK(match);
+  std::printf("\nA skewed cluster converges under the ShardMap: ranges of "
+              "shard 0's pnode space\nmove to the emptiest shards, queries "
+              "keep routing through the live map, and\nthe migration cost "
+              "is charged to the shared network fabric.\n");
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "src/cluster/cluster.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "src/lasagna/recovery.h"
 #include "src/util/logging.h"
 
@@ -8,7 +11,8 @@ namespace pass::cluster {
 ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
     : options_(options),
       env_(options.seed),
-      net_(&env_.clock(), options.net_params) {
+      net_(&env_.clock(), options.net_params),
+      shard_map_(options.shards) {
   PASS_CHECK(options.shards >= 1);
   machines_.reserve(options.shards);
   worker_pids_.reserve(options.shards);
@@ -26,12 +30,8 @@ ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
     worker_pids_.push_back(machines_.back()->Spawn("clusterd"));
     dbs.push_back(machines_.back()->db());
   }
-  queue_ = std::make_unique<IngestQueue>(&net_, std::move(dbs),
+  queue_ = std::make_unique<IngestQueue>(&net_, &shard_map_, std::move(dbs),
                                          options.ingest_batch_records);
-}
-
-int ClusterCoordinator::OwnerOf(core::PnodeId pnode) const {
-  return queue_->OwnerOf(pnode);
 }
 
 workloads::WorkloadReport ClusterCoordinator::RunWorkload(
@@ -85,21 +85,190 @@ Status ClusterCoordinator::Sync() {
   return Status::Ok();
 }
 
+Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
+                                                         int to_shard) {
+  int from = shard_map_.OwnerOfRange(range);
+  if (from < 0) {
+    return InvalidArgument("migrate: range is not uniformly owned");
+  }
+  if (to_shard < 0 || to_shard >= shard_count()) {
+    return InvalidArgument("migrate: destination is not a cluster member");
+  }
+  MigrationReport report;
+  report.from = from;
+  report.to = to_shard;
+  if (from == to_shard) {
+    return report;  // nothing to move
+  }
+  // Pending replication batches were routed under the current map; deliver
+  // them before ownership changes.
+  queue_->Flush();
+
+  // Assign first: it enforces the single-home-space constraint, and failing
+  // it here means nothing was scanned or shipped and no network time was
+  // charged. After it the map already routes to the destination, which is
+  // exactly right for the copy-then-delete that follows.
+  PASS_RETURN_IF_ERROR(shard_map_.Assign(range, to_shard));
+  waldo::ProvDb* source = machines_[from]->db();
+  std::vector<lasagna::LogEntry> entries =
+      source->EntriesInRange(range.begin, range.end);
+  IngestQueue::ShipReport shipped = queue_->ShipTo(to_shard, entries);
+  report.entries_shipped = shipped.entries_shipped;
+  report.entries_skipped = shipped.entries_skipped;
+  report.batches = shipped.batches;
+  report.bytes = shipped.bytes;
+  report.rows_deleted = source->DeleteRange(range.begin, range.end);
+
+  ++migration_stats_.migrations;
+  migration_stats_.entries_shipped += report.entries_shipped;
+  migration_stats_.entries_skipped += report.entries_skipped;
+  migration_stats_.batches += report.batches;
+  migration_stats_.bytes += report.bytes;
+  migration_stats_.rows_deleted += report.rows_deleted;
+  return report;
+}
+
+namespace {
+
+double MaxMinRatio(uint64_t max_rows, uint64_t min_rows) {
+  if (max_rows == 0) {
+    return 1.0;  // empty cluster is trivially balanced
+  }
+  if (min_rows == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(max_rows) / static_cast<double>(min_rows);
+}
+
+std::pair<size_t, size_t> Extremes(const std::vector<uint64_t>& rows) {
+  size_t max_shard = 0;
+  size_t min_shard = 0;
+  for (size_t shard = 1; shard < rows.size(); ++shard) {
+    if (rows[shard] > rows[max_shard]) {
+      max_shard = shard;
+    }
+    if (rows[shard] < rows[min_shard]) {
+      min_shard = shard;
+    }
+  }
+  return {max_shard, min_shard};
+}
+
+}  // namespace
+
+RebalanceReport ClusterCoordinator::Rebalance(double max_min_ratio,
+                                              int max_migrations) {
+  RebalanceReport report;
+  // Policy and reporting share one metric: shard_sizes()'s owned rows.
+  auto owned_rows = [&] {
+    std::vector<uint64_t> rows;
+    rows.reserve(machines_.size());
+    for (const ShardSize& size : shard_sizes()) {
+      rows.push_back(size.owned_rows);
+    }
+    return rows;
+  };
+
+  while (report.migrations < max_migrations) {
+    std::vector<uint64_t> rows = owned_rows();
+    auto [max_shard, min_shard] = Extremes(rows);
+    double ratio = MaxMinRatio(rows[max_shard], rows[min_shard]);
+    if (ratio <= max_min_ratio) {
+      break;
+    }
+    // Move half the imbalance, which balances the two extremes pairwise.
+    uint64_t target = (rows[max_shard] - rows[min_shard]) / 2;
+    if (target == 0) {
+      break;
+    }
+    // Split the fullest shard's heaviest owned range at the pnode where the
+    // prefix reaches the target.
+    core::PnodeRange heaviest{};
+    uint64_t heaviest_rows = 0;
+    for (const auto& [range, owner] : shard_map_.Assignments()) {
+      if (owner != static_cast<int>(max_shard)) {
+        continue;
+      }
+      uint64_t range_rows =
+          machines_[max_shard]->db()->RowsInRange(range.begin, range.end);
+      if (range_rows > heaviest_rows) {
+        heaviest_rows = range_rows;
+        heaviest = range;
+      }
+    }
+    if (heaviest_rows == 0) {
+      break;  // the surplus is not in migratable subject rows
+    }
+    std::vector<std::pair<core::PnodeId, uint64_t>> weights =
+        machines_[max_shard]->db()->PnodeRowsInRange(heaviest.begin,
+                                                     heaviest.end);
+    uint64_t moved = 0;
+    core::PnodeId split_end = heaviest.end;
+    for (const auto& [pnode, weight] : weights) {
+      moved += weight;
+      if (moved >= target) {
+        split_end = pnode + 1;
+        break;
+      }
+    }
+    // Only migrate when the cluster-wide spread strictly shrinks — a single
+    // pnode hotter than the whole imbalance would otherwise ping-pong. (The
+    // ratio is no guide here: it stays infinite until every shard is
+    // non-empty, even while migrations make real progress.)
+    std::vector<uint64_t> predicted = rows;
+    predicted[max_shard] -= moved;
+    predicted[min_shard] += moved;
+    auto [pred_max, pred_min] = Extremes(predicted);
+    if (predicted[pred_max] - predicted[pred_min] >=
+        rows[max_shard] - rows[min_shard]) {
+      break;
+    }
+    auto migrated = MigrateRange(core::PnodeRange{heaviest.begin, split_end},
+                                 static_cast<int>(min_shard));
+    if (!migrated.ok()) {
+      break;
+    }
+    ++report.migrations;
+  }
+
+  std::vector<uint64_t> rows = owned_rows();
+  auto [max_shard, min_shard] = Extremes(rows);
+  report.max_rows = rows[max_shard];
+  report.min_rows = rows[min_shard];
+  report.ratio = MaxMinRatio(report.max_rows, report.min_rows);
+  report.converged = report.ratio <= max_min_ratio;
+  return report;
+}
+
+std::vector<ShardSize> ClusterCoordinator::shard_sizes() const {
+  std::vector<ShardSize> out(machines_.size());
+  for (size_t shard = 0; shard < machines_.size(); ++shard) {
+    const waldo::ProvDb* db = machines_[shard]->db();
+    out[shard].records = db->RecordCount();
+    out[shard].edges = db->EdgeCount();
+  }
+  for (const auto& [range, owner] : shard_map_.Assignments()) {
+    out[owner].owned_rows +=
+        machines_[owner]->db()->RowsInRange(range.begin, range.end);
+  }
+  return out;
+}
+
 FederatedSource ClusterCoordinator::Source(int portal_shard) {
   std::vector<const waldo::ProvDb*> dbs;
   dbs.reserve(machines_.size());
   for (const auto& m : machines_) {
     dbs.push_back(m->db());
   }
-  return FederatedSource(std::move(dbs), &net_, portal_shard);
+  return FederatedSource(std::move(dbs), &net_, &shard_map_, portal_shard);
 }
 
 void ClusterCoordinator::MergeInto(waldo::ProvDb* out) const {
   for (size_t shard = 0; shard < machines_.size(); ++shard) {
     const waldo::ProvDb* db = machines_[shard]->db();
     for (core::PnodeId pnode : db->AllPnodes()) {
-      if (static_cast<size_t>(core::PnodeShard(pnode)) != shard) {
-        continue;  // replicated copy; the owner replays it
+      if (shard_map_.OwnerOf(pnode) != static_cast<int>(shard)) {
+        continue;  // replicated or out-migrated copy; the owner replays it
       }
       for (core::Version version : db->VersionsOf(pnode)) {
         core::ObjectRef ref{pnode, version};

@@ -4,9 +4,11 @@
 // ClusterCoordinator: a sharded provenance cluster of N simulated machines.
 //
 // Each shard is a full PASSv2 machine (kernel + PassSystem + Lasagna volume
-// + ProvDb) whose pnode allocator stamps the shard id into the top 16 bits,
-// so object ownership is decidable from the pnode alone. All machines share
-// one sim::Env (one timeline) and one sim::Network (the cluster fabric).
+// + ProvDb) whose pnode allocator stamps the shard id into the top 16 bits.
+// That allocator shard is only the *home* hint: actual ownership of any
+// pnode range is resolved through the ShardMap routing layer, which live
+// migration and rebalancing update. All machines share one sim::Env (one
+// timeline) and one sim::Network (the cluster fabric).
 //
 // The coordinator:
 //   * provisions the machines and one resident worker process per shard;
@@ -16,8 +18,11 @@
 //   * recovers each shard's Lasagna log into the shard-local ProvDb and
 //     pushes cross-shard entries through the batched IngestQueue
 //     (see src/cluster/ingest.h), charging network per batch;
-//   * hands out FederatedSource instances so PQL runs over the whole
-//     cluster, and a merged single-database view for equivalence checks.
+//   * migrates pnode ranges between shards (MigrateRange) and rebalances
+//     skewed clusters (Rebalance) without changing query results;
+//   * hands out FederatedSource instances — wired to the live ShardMap, so
+//     they survive later migrations — and a merged single-database view
+//     for equivalence checks.
 
 #include <memory>
 #include <string>
@@ -25,6 +30,7 @@
 
 #include "src/cluster/federated_source.h"
 #include "src/cluster/ingest.h"
+#include "src/cluster/shard_map.h"
 #include "src/sim/env.h"
 #include "src/sim/net.h"
 #include "src/workloads/machine.h"
@@ -42,6 +48,43 @@ struct ClusterOptions {
   core::CycleAlgorithm cycle_algorithm = core::CycleAlgorithm::kCycleAvoidance;
 };
 
+// One completed MigrateRange.
+struct MigrationReport {
+  int from = -1;
+  int to = -1;
+  uint64_t entries_shipped = 0;  // rows inserted at the destination
+  uint64_t entries_skipped = 0;  // rows the destination already held
+  uint64_t batches = 0;          // network round trips charged
+  uint64_t bytes = 0;            // encoded payload bytes on the wire
+  uint64_t rows_deleted = 0;     // rows dropped from the source database
+};
+
+// Running totals across every migration (bench/fig4_rebalance reports these
+// as the cost of rebalancing).
+struct MigrationStats {
+  uint64_t migrations = 0;
+  uint64_t entries_shipped = 0;
+  uint64_t entries_skipped = 0;
+  uint64_t batches = 0;
+  uint64_t bytes = 0;
+  uint64_t rows_deleted = 0;
+};
+
+// Size of one shard's database, ingest_stats()-style.
+struct ShardSize {
+  uint64_t records = 0;     // attribute rows held (including replicas)
+  uint64_t edges = 0;       // forward edge rows held (including replicas)
+  uint64_t owned_rows = 0;  // rows whose subject the ShardMap assigns here
+};
+
+struct RebalanceReport {
+  int migrations = 0;
+  uint64_t max_rows = 0;  // final owned-row extremes across shards
+  uint64_t min_rows = 0;
+  double ratio = 0;       // final max/min (1 when empty: trivially balanced)
+  bool converged = false;
+};
+
 class ClusterCoordinator {
  public:
   explicit ClusterCoordinator(ClusterOptions options = ClusterOptions());
@@ -51,9 +94,10 @@ class ClusterCoordinator {
   waldo::ProvDb& shard_db(int shard) { return *machines_[shard]->db(); }
   sim::Env& env() { return env_; }
   sim::Network& network() { return net_; }
+  const ShardMap& shard_map() const { return shard_map_; }
 
-  // Shard owning a pnode; -1 when the shard bits name no cluster member.
-  int OwnerOf(core::PnodeId pnode) const;
+  // Shard owning a pnode per the ShardMap; -1 when it names no member.
+  int OwnerOf(core::PnodeId pnode) const { return shard_map_.OwnerOf(pnode); }
 
   // Run a named workload ("compile", "postmark", ...) on one shard.
   workloads::WorkloadReport RunWorkload(int shard, const std::string& name);
@@ -72,23 +116,43 @@ class ClusterCoordinator {
   // consumed logs are removed, so repeated calls only process new records.
   Status Sync();
 
-  // Federated query source with the portal on `portal_shard`.
+  // Move ownership of `range` (currently uniformly owned by one shard) to
+  // `to_shard`: flush pending replication, copy the range's subject records
+  // and reverse-index rows into the destination through the batched ingest
+  // path (charging the network per batch), bump the ShardMap epoch, then
+  // delete the moved rows from the source. Query results are unchanged.
+  Result<MigrationReport> MigrateRange(core::PnodeRange range, int to_shard);
+
+  // Migrate ranges from the fullest to the emptiest shard until the
+  // max/min owned-row ratio falls under `max_min_ratio` (or no migration
+  // can improve it, or `max_migrations` is reached).
+  RebalanceReport Rebalance(double max_min_ratio = 1.5,
+                            int max_migrations = 64);
+
+  // Per-shard database sizes (Rebalance's input; bench CSV output).
+  std::vector<ShardSize> shard_sizes() const;
+
+  // Federated query source with the portal on `portal_shard`, wired to the
+  // live ShardMap: sources created before a migration route correctly after.
   FederatedSource Source(int portal_shard = 0);
 
-  // Replay every shard's (locally owned) entries into `out`: the database a
-  // single un-sharded machine would have built. For equivalence checks.
+  // Replay every shard's (ShardMap-owned) entries into `out`: the database
+  // a single un-sharded machine would have built. For equivalence checks.
   void MergeInto(waldo::ProvDb* out) const;
 
   const IngestStats& ingest_stats() const { return queue_->stats(); }
+  const MigrationStats& migration_stats() const { return migration_stats_; }
   uint64_t entries_recovered() const { return entries_recovered_; }
 
  private:
   ClusterOptions options_;
   sim::Env env_;
   sim::Network net_;
+  ShardMap shard_map_;
   std::vector<std::unique_ptr<workloads::Machine>> machines_;
   std::vector<os::Pid> worker_pids_;
   std::unique_ptr<IngestQueue> queue_;
+  MigrationStats migration_stats_;
   uint64_t entries_recovered_ = 0;
 };
 

@@ -27,11 +27,11 @@ std::string Lower(std::string s) {
 const waldo::ProvDb* FederatedSource::Route(core::PnodeId pnode,
                                             uint64_t request_bytes,
                                             uint64_t response_bytes) const {
-  auto shard = static_cast<size_t>(core::PnodeShard(pnode));
-  if (shard >= shards_.size()) {
+  int shard = map_->OwnerOf(pnode);
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
     return nullptr;
   }
-  if (static_cast<int>(shard) == portal_shard_) {
+  if (shard == portal_shard_) {
     ++stats_.local_ops;
   } else {
     ++stats_.remote_ops;
@@ -57,7 +57,10 @@ std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
         name == "object" ? db->AllPnodes() : db->PnodesByType(type);
     uint64_t rows = 0;
     for (core::PnodeId pnode : pnodes) {
-      if (core::PnodeShard(pnode) != shard) {
+      // Report only pnodes this shard currently owns: replicated copies are
+      // reported by the owner, and rows left by an out-migrated range are
+      // reported by the range's new owner.
+      if (map_->OwnerOf(pnode) != static_cast<int>(shard)) {
         continue;
       }
       gathered.emplace(pnode, Latest(*db, pnode));

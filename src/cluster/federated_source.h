@@ -4,10 +4,12 @@
 // FederatedSource: a pql::GraphSource over a sharded cluster.
 //
 // The query portal runs on one shard. Every graph operation is routed to
-// the shard owning the pnode it touches (the allocator shard in the top 16
-// bits); operations against a remote shard charge one sim::Network round
-// trip, so PQL queries spanning shards accumulate realistic network cost.
-// Root-set construction is a scatter-gather over every shard.
+// the shard owning the pnode it touches, resolved through the borrowed
+// *live* ShardMap — so a source created before a range migration keeps
+// routing correctly after it. Operations against a remote shard charge one
+// sim::Network round trip, so PQL queries spanning shards accumulate
+// realistic network cost. Root-set construction is a scatter-gather over
+// every shard.
 //
 // Provided the cross-shard ingest queue has replicated foreign-subject
 // records and foreign-ancestor edges (see src/cluster/ingest.h), a query
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/shard_map.h"
 #include "src/pql/graph.h"
 #include "src/sim/net.h"
 #include "src/waldo/provdb.h"
@@ -32,8 +35,11 @@ struct FederatedStats {
 class FederatedSource : public pql::GraphSource {
  public:
   FederatedSource(std::vector<const waldo::ProvDb*> shards, sim::Network* net,
-                  int portal_shard = 0)
-      : shards_(std::move(shards)), net_(net), portal_shard_(portal_shard) {}
+                  const ShardMap* map, int portal_shard = 0)
+      : shards_(std::move(shards)),
+        net_(net),
+        map_(map),
+        portal_shard_(portal_shard) {}
 
   std::vector<pql::Node> RootSet(const std::string& name) const override;
   pql::ValueSet Attribute(const pql::Node& node,
@@ -46,8 +52,8 @@ class FederatedSource : public pql::GraphSource {
   const FederatedStats& stats() const { return stats_; }
 
  private:
-  // Database owning `pnode`, charging a round trip when remote; null when
-  // the shard bits name no cluster member.
+  // Database owning `pnode` per the ShardMap, charging a round trip when
+  // remote; null when the pnode maps to no cluster member.
   const waldo::ProvDb* Route(core::PnodeId pnode, uint64_t request_bytes,
                              uint64_t response_bytes) const;
   // Latest version node of `pnode` in its owner's database.
@@ -55,6 +61,7 @@ class FederatedSource : public pql::GraphSource {
 
   std::vector<const waldo::ProvDb*> shards_;
   sim::Network* net_;
+  const ShardMap* map_;
   int portal_shard_;
   mutable FederatedStats stats_;
 };

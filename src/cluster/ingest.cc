@@ -1,5 +1,7 @@
 #include "src/cluster/ingest.h"
 
+#include <algorithm>
+
 #include "src/core/object.h"
 
 namespace pass::cluster {
@@ -12,24 +14,16 @@ constexpr uint64_t kAckBytes = 16;
 
 }  // namespace
 
-int IngestQueue::OwnerOf(core::PnodeId pnode) const {
-  auto shard = static_cast<size_t>(core::PnodeShard(pnode));
-  if (shard >= shards_.size()) {
-    return -1;
-  }
-  return static_cast<int>(shard);
-}
-
 void IngestQueue::Offer(int source_shard, const lasagna::LogEntry& entry) {
   ++stats_.entries_examined;
-  int subject_owner = OwnerOf(entry.subject.pnode);
+  int subject_owner = map_->OwnerOf(entry.subject.pnode);
   if (subject_owner >= 0 && subject_owner != source_shard) {
     Enqueue(subject_owner, entry);
   }
   if (entry.record.attr == core::Attr::kInput) {
     if (const auto* ancestor =
             std::get_if<core::ObjectRef>(&entry.record.value)) {
-      int ancestor_owner = OwnerOf(ancestor->pnode);
+      int ancestor_owner = map_->OwnerOf(ancestor->pnode);
       if (ancestor_owner >= 0 && ancestor_owner != source_shard &&
           ancestor_owner != subject_owner) {
         Enqueue(ancestor_owner, entry);
@@ -70,6 +64,32 @@ void IngestQueue::Flush() {
   for (size_t shard = 0; shard < pending_.size(); ++shard) {
     FlushShard(static_cast<int>(shard));
   }
+}
+
+IngestQueue::ShipReport IngestQueue::ShipTo(
+    int destination, const std::vector<lasagna::LogEntry>& entries) {
+  ShipReport report;
+  waldo::ProvDb* db = shards_[destination];
+  for (size_t at = 0; at < entries.size(); at += batch_records_) {
+    size_t batch_end = std::min(at + batch_records_, entries.size());
+    std::string payload;
+    for (size_t i = at; i < batch_end; ++i) {
+      lasagna::EncodeLogEntry(&payload, entries[i]);
+    }
+    net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+    ++report.batches;
+    report.bytes += payload.size();
+    for (size_t i = at; i < batch_end; ++i) {
+      // InsertUnique adds only the rows (or edge halves) still missing, so
+      // re-sending previously replicated entries cannot duplicate them.
+      if (db->InsertUnique(entries[i])) {
+        ++report.entries_shipped;
+      } else {
+        ++report.entries_skipped;
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace pass::cluster

@@ -16,14 +16,18 @@
 //     the foreign subject — exactly the row ProvDb::Insert would have added
 //     had the whole cluster shared one database.
 //
-// Entries are batched per destination shard; each flush charges one
+// Ownership is resolved through the ShardMap routing layer (never the raw
+// shard bits), so entries about migrated pnode ranges flow to the current
+// owner. Entries are batched per destination shard; each flush charges one
 // sim::Network round trip for the encoded batch. batch_records = 1 degrades
 // to one RTT per replicated entry, which is what bench/fig3_cluster uses as
-// the unbatched baseline.
+// the unbatched baseline. The same batch path ships migration traffic
+// (ShipTo) when the coordinator moves a pnode range between shards.
 
 #include <cstdint>
 #include <vector>
 
+#include "src/cluster/shard_map.h"
 #include "src/lasagna/log_format.h"
 #include "src/sim/net.h"
 #include "src/waldo/provdb.h"
@@ -40,16 +44,14 @@ struct IngestStats {
 class IngestQueue {
  public:
   // `shards[i]` is shard i's local database; `net` models the cluster
-  // fabric. Pnode ownership is the allocator shard in the top 16 bits.
-  IngestQueue(sim::Network* net, std::vector<waldo::ProvDb*> shards,
-              size_t batch_records)
+  // fabric; `map` (borrowed, live) resolves pnode ownership.
+  IngestQueue(sim::Network* net, const ShardMap* map,
+              std::vector<waldo::ProvDb*> shards, size_t batch_records)
       : net_(net),
+        map_(map),
         shards_(std::move(shards)),
         batch_records_(batch_records == 0 ? 1 : batch_records),
         pending_(shards_.size()) {}
-
-  // Shard owning a pnode; -1 when the shard bits name no cluster member.
-  int OwnerOf(core::PnodeId pnode) const;
 
   // Examine one entry recovered on `source_shard` and enqueue copies for
   // every remote shard that must index it. Full batches flush immediately.
@@ -58,6 +60,22 @@ class IngestQueue {
   // Ship every partially filled batch.
   void Flush();
 
+  // Result of one ShipTo call (migration traffic).
+  struct ShipReport {
+    uint64_t entries_shipped = 0;  // inserted at the destination
+    uint64_t entries_skipped = 0;  // already present there (replicated before)
+    uint64_t batches = 0;          // network round trips charged
+    uint64_t bytes = 0;            // encoded payload bytes
+  };
+
+  // Ship `entries` to `destination`'s database in batch-sized chunks, one
+  // round trip per chunk. The sender cannot know the receiver's state, so
+  // every entry crosses the wire; the destination skips rows it already
+  // holds (earlier replication makes migration re-send some). Synchronous:
+  // bypasses the per-destination pending queues and the IngestStats.
+  ShipReport ShipTo(int destination,
+                    const std::vector<lasagna::LogEntry>& entries);
+
   const IngestStats& stats() const { return stats_; }
 
  private:
@@ -65,6 +83,7 @@ class IngestQueue {
   void FlushShard(int destination);
 
   sim::Network* net_;
+  const ShardMap* map_;
   std::vector<waldo::ProvDb*> shards_;
   size_t batch_records_;
   std::vector<std::vector<lasagna::LogEntry>> pending_;  // per destination

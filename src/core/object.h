@@ -30,10 +30,30 @@ std::string_view ObjectKindName(ObjectKind kind);
 // shard (one per machine / PASS volume family) so pnodes from different
 // machines in a PA-NFS deployment never collide.
 
-// The allocator shard a pnode was minted by — the single ownership rule the
-// cluster layer (replication routing, query routing, merge dedup) builds on.
+// The allocator shard a pnode was minted by. In the cluster this is only a
+// *home* hint: actual ownership is resolved through the ShardMap routing
+// layer (src/cluster/shard_map.h), which may reassign pnode ranges within a
+// home shard's space to other machines.
 constexpr uint16_t PnodeShard(PnodeId pnode) {
   return static_cast<uint16_t>(pnode >> 48);
+}
+
+// A half-open range [begin, end) of pnode numbers — the unit of ownership
+// the cluster's ShardMap assigns and its migrations move.
+struct PnodeRange {
+  PnodeId begin = 0;
+  PnodeId end = 0;
+
+  bool empty() const { return end <= begin; }
+  bool Contains(PnodeId pnode) const { return pnode >= begin && pnode < end; }
+  bool operator==(const PnodeRange&) const = default;
+};
+
+// The pnode space shard `shard`'s allocator mints from: every pnode whose
+// top 16 bits equal `shard`.
+constexpr PnodeRange ShardSpace(uint16_t shard) {
+  return PnodeRange{static_cast<PnodeId>(shard) << 48,
+                    (static_cast<PnodeId>(shard) + 1) << 48};
 }
 
 class PnodeAllocator {

@@ -1,5 +1,6 @@
 #include "src/waldo/provdb.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/util/strings.h"
@@ -135,6 +136,183 @@ std::vector<core::PnodeId> ProvDb::AllPnodes() const {
 
 namespace {
 
+template <typename Map, typename Key, typename Value>
+bool MapRowContains(const Map& map, const Key& key, const Value& value) {
+  auto it = map.find(key);
+  return it != map.end() &&
+         std::find(it->second.begin(), it->second.end(), value) !=
+             it->second.end();
+}
+
+}  // namespace
+
+bool ProvDb::InsertUnique(const lasagna::LogEntry& entry) {
+  const core::ObjectRef& subject = entry.subject;
+  if (entry.record.attr == core::Attr::kInput) {
+    const auto* ancestor = std::get_if<core::ObjectRef>(&entry.record.value);
+    if (ancestor == nullptr) {
+      return false;
+    }
+    bool have_forward = MapRowContains(inputs_, subject, *ancestor);
+    bool have_reverse = MapRowContains(outputs_, *ancestor, subject);
+    if (have_forward && have_reverse) {
+      return false;
+    }
+    versions_[subject.pnode].insert(subject.version);
+    versions_[ancestor->pnode].insert(ancestor->version);
+    if (!have_forward) {
+      inputs_[subject].push_back(*ancestor);
+      indexes_.Put(RefKey('i', subject), EncodeRef(*ancestor));
+      ++edge_count_;  // edge_count_ counts forward rows
+    }
+    if (!have_reverse) {
+      outputs_[*ancestor].push_back(subject);
+      indexes_.Put(RefKey('o', *ancestor), EncodeRef(subject));
+    }
+    return true;
+  }
+  if (MapRowContains(attrs_, subject, entry.record)) {
+    return false;
+  }
+  Insert(entry);
+  return true;
+}
+
+std::vector<lasagna::LogEntry> ProvDb::EntriesInRange(core::PnodeId begin,
+                                                      core::PnodeId end) const {
+  std::vector<lasagna::LogEntry> out;
+  const core::ObjectRef lo{begin, 0};
+  for (auto it = attrs_.lower_bound(lo);
+       it != attrs_.end() && it->first.pnode < end; ++it) {
+    for (const core::Record& record : it->second) {
+      out.push_back({it->first, record});
+    }
+  }
+  for (auto it = inputs_.lower_bound(lo);
+       it != inputs_.end() && it->first.pnode < end; ++it) {
+    for (const core::ObjectRef& ancestor : it->second) {
+      out.push_back({it->first, core::Record::Input(ancestor)});
+    }
+  }
+  // Reverse rows whose subject is also in range were already emitted as the
+  // matching forward edge above (Insert recreates both rows from one entry).
+  for (auto it = outputs_.lower_bound(lo);
+       it != outputs_.end() && it->first.pnode < end; ++it) {
+    for (const core::ObjectRef& subject : it->second) {
+      if (subject.pnode < begin || subject.pnode >= end) {
+        out.push_back({subject, core::Record::Input(it->first)});
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {
+  if (end <= begin) {
+    return 0;  // empty range; also keeps the end - 1 bounds below safe
+  }
+  uint64_t removed = 0;
+  const core::ObjectRef lo{begin, 0};
+  // Names/types referenced by in-range subjects: only their index keys can
+  // need rewriting below.
+  std::set<std::string> touched_names;
+  std::set<std::string> touched_types;
+  for (auto it = attrs_.lower_bound(lo);
+       it != attrs_.end() && it->first.pnode < end;) {
+    for (const core::Record& record : it->second) {
+      if (const auto* text = std::get_if<std::string>(&record.value)) {
+        if (record.attr == core::Attr::kName) {
+          touched_names.insert(*text);
+        } else if (record.attr == core::Attr::kType) {
+          touched_types.insert(*text);
+        }
+      }
+    }
+    records_.Delete(RefKey('r', it->first));
+    removed += it->second.size();
+    record_count_ -= it->second.size();
+    it = attrs_.erase(it);
+  }
+  // edge_count_ tracks forward rows only; the paired reverse row of a fully
+  // in-range edge goes in the outputs loop without further decrement.
+  for (auto it = inputs_.lower_bound(lo);
+       it != inputs_.end() && it->first.pnode < end;) {
+    indexes_.Delete(RefKey('i', it->first));
+    removed += it->second.size();
+    edge_count_ -= it->second.size();
+    it = inputs_.erase(it);
+  }
+  for (auto it = outputs_.lower_bound(lo);
+       it != outputs_.end() && it->first.pnode < end;) {
+    indexes_.Delete(RefKey('o', it->first));
+    removed += it->second.size();
+    it = outputs_.erase(it);
+  }
+  versions_.erase(versions_.lower_bound(begin), versions_.upper_bound(end - 1));
+  names_.erase(names_.lower_bound(begin), names_.upper_bound(end - 1));
+
+  // Secondary name/type indexes: drop in-range pnodes from the touched keys
+  // and rewrite those keys so surviving pnodes stay accounted in the store.
+  auto prune = [&](std::map<std::string, std::set<core::PnodeId>>& index,
+                   char prefix, const std::set<std::string>& touched) {
+    for (const std::string& name : touched) {
+      auto it = index.find(name);
+      if (it == index.end()) {
+        continue;
+      }
+      std::set<core::PnodeId>& pnodes = it->second;
+      pnodes.erase(pnodes.lower_bound(begin), pnodes.upper_bound(end - 1));
+      std::string key = StrFormat("%c/%s", prefix, name.c_str());
+      indexes_.Delete(key);
+      for (core::PnodeId pnode : pnodes) {
+        indexes_.Put(key, EncodeRef({pnode, LatestVersionOf(pnode)}));
+      }
+      if (pnodes.empty()) {
+        index.erase(it);
+      }
+    }
+  };
+  prune(by_name_, 'n', touched_names);
+  prune(by_type_, 't', touched_types);
+  return removed;
+}
+
+uint64_t ProvDb::RowsInRange(core::PnodeId begin, core::PnodeId end) const {
+  uint64_t rows = 0;
+  const core::ObjectRef lo{begin, 0};
+  for (auto it = attrs_.lower_bound(lo);
+       it != attrs_.end() && it->first.pnode < end; ++it) {
+    rows += it->second.size();
+  }
+  for (auto it = inputs_.lower_bound(lo);
+       it != inputs_.end() && it->first.pnode < end; ++it) {
+    rows += it->second.size();
+  }
+  return rows;
+}
+
+std::vector<std::pair<core::PnodeId, uint64_t>> ProvDb::PnodeRowsInRange(
+    core::PnodeId begin, core::PnodeId end) const {
+  std::map<core::PnodeId, uint64_t> weights;
+  for (auto it = versions_.lower_bound(begin);
+       it != versions_.end() && it->first < end; ++it) {
+    weights[it->first];  // present even when the pnode has no subject rows
+  }
+  const core::ObjectRef lo{begin, 0};
+  for (auto it = attrs_.lower_bound(lo);
+       it != attrs_.end() && it->first.pnode < end; ++it) {
+    weights[it->first.pnode] += it->second.size();
+  }
+  for (auto it = inputs_.lower_bound(lo);
+       it != inputs_.end() && it->first.pnode < end; ++it) {
+    weights[it->first.pnode] += it->second.size();
+  }
+  return std::vector<std::pair<core::PnodeId, uint64_t>>(weights.begin(),
+                                                         weights.end());
+}
+
+namespace {
+
 // Parse "<prefix>/<%016llx pnode>/<%08x version>" back into a ref.
 Result<core::ObjectRef> ParseRefKey(std::string_view key) {
   if (key.size() != 2 + 16 + 1 + 8 || key[1] != '/' || key[18] != '/') {
@@ -213,10 +391,30 @@ Result<ProvDb> ProvDb::Deserialize(std::string_view image) {
       return;
     }
     db.inputs_[*subject].push_back(*ancestor);
-    db.outputs_[*ancestor].push_back(*subject);
     db.versions_[subject->pnode].insert(subject->version);
     db.versions_[ancestor->pnode].insert(ancestor->version);
     ++db.edge_count_;
+  });
+  // Reverse rows come solely from 'o/' keys — never derived from 'i/'.
+  // Range deletion and half-row insertion keep the two key families
+  // independently exact, so an edge half dropped by DeleteRange (its twin
+  // keyed outside the range) stays dropped across a round trip, and each
+  // per-ancestor row list keeps its original insertion order.
+  db.indexes_.Scan("o/", [&](std::string_view key, std::string_view value) {
+    auto ancestor = ParseRefKey(key);
+    if (!ancestor.ok()) {
+      failure = ancestor.status();
+      return;
+    }
+    Decoder body(value);
+    auto subject = core::DecodeObjectRef(&body);
+    if (!subject.ok()) {
+      failure = subject.status();
+      return;
+    }
+    db.outputs_[*ancestor].push_back(*subject);
+    db.versions_[subject->pnode].insert(subject->version);
+    db.versions_[ancestor->pnode].insert(ancestor->version);
   });
   if (!failure.ok()) {
     return failure;

@@ -19,6 +19,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/provenance.h"
@@ -62,15 +63,48 @@ class ProvDb {
   std::string NameOf(core::PnodeId pnode) const;
   std::vector<core::PnodeId> AllPnodes() const;
 
+  // ---- Range surface (used by cluster migration / rebalancing) ------------
+  // Insert exactly the rows of `entry` that are missing. An INPUT edge can
+  // be *half* present here: replication and range deletion each touch only
+  // the rows keyed by one endpoint, so a database may hold the forward row
+  // without the reverse one (or vice versa). Returns false when nothing was
+  // missing. Migration traffic lands through this, keeping it idempotent.
+  bool InsertUnique(const lasagna::LogEntry& entry);
+  // Every log entry needed to reconstitute the objects whose pnode lies in
+  // [begin, end) on another database: their attribute records, their forward
+  // INPUT edges, and the reverse-index rows naming them as ancestor of an
+  // out-of-range subject.
+  std::vector<lasagna::LogEntry> EntriesInRange(core::PnodeId begin,
+                                                core::PnodeId end) const;
+  // Drop every row *keyed* by a pnode in [begin, end): attribute records and
+  // forward edges of in-range subjects, reverse rows of in-range ancestors,
+  // and their name/type index entries. Rows keyed by out-of-range pnodes —
+  // forward edges into the range, reverse rows listing in-range subjects —
+  // stay, because this database still owns those subjects/ancestors.
+  // Returns the number of rows removed.
+  uint64_t DeleteRange(core::PnodeId begin, core::PnodeId end);
+  // Rows (attribute records + forward edges) whose subject pnode lies in
+  // [begin, end) — the size metric rebalancing uses.
+  uint64_t RowsInRange(core::PnodeId begin, core::PnodeId end) const;
+  // Per-pnode row weights over [begin, end), ascending by pnode; pnodes
+  // known only as ancestors report weight 0. Used to split migration ranges.
+  std::vector<std::pair<core::PnodeId, uint64_t>> PnodeRowsInRange(
+      core::PnodeId begin, core::PnodeId end) const;
+
+  uint64_t RecordCount() const { return record_count_; }
+  uint64_t EdgeCount() const { return edge_count_; }
+
   ProvDbStats stats() const;
 
   // Persist the database as its two KvStore images / rebuild it from them.
   // The in-memory mirrors are reconstructed from the stores: a restored
   // database returns the same result *sets* for every query. Per-subject
-  // record order is preserved (the stores keep per-key insertion order);
-  // orderings that interleave subjects — Outputs() of a shared ancestor,
-  // NameOf() under renames across versions — follow store key order, which
-  // can differ from the original's insertion order.
+  // record order and per-ancestor Outputs() order are preserved (the stores
+  // keep per-key insertion order; edges rebuild from 'i/' and 'o/' keys
+  // independently, so even half-rows left by DeleteRange round-trip).
+  // Caveats: NameOf() under renames across versions follows store key
+  // order, and VersionsOf()/AllPnodes() may resurface a range-deleted
+  // pnode still referenced by surviving out-of-range edges.
   std::string Serialize() const;
   static Result<ProvDb> Deserialize(std::string_view image);
 

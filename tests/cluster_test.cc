@@ -205,6 +205,267 @@ TEST(ClusterTest, BatchedIngestReducesRoundTripsAtEqualRecordCounts) {
   EXPECT_EQ(unbatched_stats.batches_sent, unbatched_stats.entries_replicated);
 }
 
+// ---- ShardMap routing / live migration --------------------------------------
+
+// Multiset of all rows from running `query` through `source`.
+std::multiset<std::string> RunQuery(pql::GraphSource* source,
+                                    const std::string& query) {
+  pql::Engine engine(source);
+  auto result = engine.Run(query);
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  return result.ok() ? ResultSet(*result) : std::multiset<std::string>{};
+}
+
+const char* const kEquivalenceQueries[] = {
+    "select Ancestor from Provenance.file as F F.input* as Ancestor "
+    "where F.name = \"/f11\"",
+    "select D from Provenance.file as F F.~input* as D "
+    "where F.name = \"/f0\"",
+    "select A from Provenance.file as F F.input as A "
+    "where F.name = \"/f7\"",
+    "select F.name from Provenance.file as F",
+};
+
+// Federated results must equal the merged single-database view.
+void ExpectFederatedMatchesMerged(ClusterCoordinator* cluster,
+                                  const std::string& context) {
+  waldo::ProvDb merged;
+  cluster->MergeInto(&merged);
+  pql::ProvDbSource merged_source(&merged);
+  FederatedSource federated = cluster->Source(/*portal_shard=*/0);
+  for (const char* query : kEquivalenceQueries) {
+    auto want = RunQuery(&merged_source, query);
+    auto got = RunQuery(&federated, query);
+    EXPECT_EQ(got, want) << context << ": " << query;
+    EXPECT_FALSE(want.empty()) << context << ": " << query;
+  }
+}
+
+TEST(ClusterTest, MigrateRangeMovesOwnershipAndRows) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  auto a = cluster.WriteWithLineage(0, "/a", "aaa", {});
+  ASSERT_TRUE(a.ok());
+  auto b = cluster.WriteWithLineage(1, "/b", "bbb", {*a});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  ASSERT_EQ(cluster.OwnerOf(a->pnode), 0);
+  uint64_t epoch = cluster.shard_map().epoch();
+  uint64_t trips = cluster.network().stats().round_trips;
+
+  core::PnodeRange range{a->pnode, a->pnode + 1};
+  auto report = cluster.MigrateRange(range, 1);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->from, 0);
+  EXPECT_EQ(report->to, 1);
+  EXPECT_GT(report->entries_shipped + report->entries_skipped, 0u);
+  EXPECT_GT(report->batches, 0u);
+  EXPECT_GT(report->rows_deleted, 0u);
+
+  // Ownership, epoch, and the network meter all moved.
+  EXPECT_EQ(cluster.OwnerOf(a->pnode), 1);
+  EXPECT_GT(cluster.shard_map().epoch(), epoch);
+  EXPECT_GT(cluster.network().stats().round_trips, trips);
+  EXPECT_EQ(cluster.migration_stats().migrations, 1u);
+
+  // The destination now answers for /a: records and the reverse edge to /b.
+  EXPECT_FALSE(cluster.shard_db(1).RecordsOfAllVersions(a->pnode).empty());
+  auto outputs = cluster.shard_db(1).Outputs(*a);
+  ASSERT_FALSE(outputs.empty());
+  EXPECT_EQ(outputs[0].pnode, b->pnode);
+  // The source dropped the moved rows.
+  EXPECT_TRUE(cluster.shard_db(0).RecordsOfAllVersions(a->pnode).empty());
+}
+
+TEST(ClusterTest, MigrateRangeRejectsSplitOrForeignRanges) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  EXPECT_FALSE(cluster.MigrateRange(core::ShardSpace(7), 1).ok());
+  EXPECT_FALSE(
+      cluster.MigrateRange({core::ShardSpace(0).begin,
+                            core::ShardSpace(1).begin + 10}, 1).ok());
+  ASSERT_TRUE(cluster.MigrateRange(core::ShardSpace(0), 1).ok());
+  EXPECT_FALSE(cluster.MigrateRange(core::ShardSpace(0), 5).ok());
+  // Shard 1 now owns both home spaces, so this range is uniformly owned yet
+  // spans a home boundary: it must be rejected before any rows ship.
+  uint64_t trips = cluster.network().stats().round_trips;
+  uint64_t migrations = cluster.migration_stats().migrations;
+  EXPECT_FALSE(cluster
+                   .MigrateRange({core::ShardSpace(0).begin,
+                                  core::ShardSpace(1).begin + 10}, 0)
+                   .ok());
+  EXPECT_EQ(cluster.network().stats().round_trips, trips);
+  EXPECT_EQ(cluster.migration_stats().migrations, migrations);
+}
+
+// Acceptance: interleave workloads, migrations, and Sync() — the federated
+// query must keep matching the merged single-database answer throughout.
+TEST(ClusterTest, FederatedQueriesSurviveInterleavedMigrations) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  auto refs = BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.WriteWithLineage(2, "/island", "iii", {}).ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+  ExpectFederatedMatchesMerged(&cluster, "before any migration");
+
+  // Move the prefix of shard 0's space (covering /f0, /f4) to shard 2.
+  core::PnodeRange prefix{core::ShardSpace(0).begin, refs[4].pnode + 1};
+  ASSERT_TRUE(cluster.MigrateRange(prefix, 2).ok());
+  ExpectFederatedMatchesMerged(&cluster, "after prefix migration");
+
+  // More workload after the migration, including writes on shard 0 that
+  // disclose lineage to a migrated ancestor.
+  auto extra = cluster.WriteWithLineage(0, "/extra", "eee", {refs[0]});
+  ASSERT_TRUE(extra.ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+  ExpectFederatedMatchesMerged(&cluster, "after post-migration workload");
+
+  // Move shard 1's *entire* home space to shard 3, then keep writing on
+  // shard 1: even freshly minted pnodes belong to shard 3 now.
+  ASSERT_TRUE(cluster.MigrateRange(core::ShardSpace(1), 3).ok());
+  auto late = cluster.WriteWithLineage(1, "/late", "lll", {*extra});
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(cluster.OwnerOf(late->pnode), 3);
+  ASSERT_TRUE(cluster.Sync().ok());
+  ExpectFederatedMatchesMerged(&cluster, "after whole-space migration");
+
+  // And back again: migrating home restores the default route.
+  ASSERT_TRUE(cluster.MigrateRange(core::ShardSpace(1), 1).ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+  EXPECT_EQ(cluster.OwnerOf(late->pnode), 1);
+  ExpectFederatedMatchesMerged(&cluster, "after migrating home");
+}
+
+// Satellite regression: a FederatedSource created *before* a migration must
+// pick up post-migration routing (it is wired to the live ShardMap).
+TEST(ClusterTest, SourceCreatedBeforeMigrationRoutesThroughLiveMap) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  auto a = cluster.WriteWithLineage(0, "/a", "aaa", {});
+  ASSERT_TRUE(a.ok());
+  auto b = cluster.WriteWithLineage(1, "/b", "bbb", {*a});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource stale = cluster.Source(/*portal_shard=*/0);
+  const std::string query =
+      "select D from Provenance.file as F F.~input* as D "
+      "where F.name = \"/a\"";
+  auto before = RunQuery(&stale, query);
+  EXPECT_FALSE(before.empty());
+
+  ASSERT_TRUE(
+      cluster.MigrateRange({a->pnode, a->pnode + 1}, 1).ok());
+
+  // Same source object, post-migration: answers come from shard 1 now and
+  // still match both the pre-migration answer and the merged view.
+  auto after = RunQuery(&stale, query);
+  EXPECT_EQ(after, before);
+  waldo::ProvDb merged;
+  cluster.MergeInto(&merged);
+  pql::ProvDbSource merged_source(&merged);
+  EXPECT_EQ(RunQuery(&merged_source, query), after);
+}
+
+// Satellite: federated queries with a non-default portal shard.
+TEST(ClusterTest, NonZeroPortalShardServesLocalOpsWithoutNetwork) {
+  ClusterCoordinator cluster(SmallCluster(3));
+  auto refs = BuildCrossShardChain(&cluster, 9);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  waldo::ProvDb merged;
+  cluster.MergeInto(&merged);
+  pql::ProvDbSource merged_source(&merged);
+  const std::string query =
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"/f8\"";
+  auto want = RunQuery(&merged_source, query);
+
+  for (int portal = 0; portal < 3; ++portal) {
+    FederatedSource source = cluster.Source(portal);
+    EXPECT_EQ(RunQuery(&source, query), want) << "portal " << portal;
+    // Every portal serves its own pnodes locally and routes the rest.
+    EXPECT_GT(source.stats().local_ops, 0u) << "portal " << portal;
+    EXPECT_GT(source.stats().remote_ops, 0u) << "portal " << portal;
+  }
+
+  // A lookup of a portal-owned pnode is free; the same lookup from another
+  // portal charges the network.
+  FederatedSource portal2 = cluster.Source(2);
+  uint64_t trips = cluster.network().stats().round_trips;
+  portal2.Follow(refs[2], "input", /*inverse=*/false);  // /f2 lives on shard 2
+  EXPECT_EQ(cluster.network().stats().round_trips, trips);
+  portal2.Follow(refs[1], "input", /*inverse=*/false);  // /f1 lives on shard 1
+  EXPECT_EQ(cluster.network().stats().round_trips, trips + 1);
+}
+
+// Satellite: per-shard size accessors surface in cluster stats.
+TEST(ClusterTest, ShardSizesReportPerShardRecordCounts) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  auto refs = BuildCrossShardChain(&cluster, 6);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  auto sizes = cluster.shard_sizes();
+  ASSERT_EQ(sizes.size(), 2u);
+  for (int shard = 0; shard < 2; ++shard) {
+    EXPECT_EQ(sizes[shard].records, cluster.shard_db(shard).RecordCount());
+    EXPECT_EQ(sizes[shard].edges, cluster.shard_db(shard).EdgeCount());
+    EXPECT_GT(sizes[shard].owned_rows, 0u);
+  }
+  // Owned rows move with a migration; totals are conserved.
+  uint64_t owned_before = sizes[0].owned_rows + sizes[1].owned_rows;
+  ASSERT_TRUE(cluster.MigrateRange(core::ShardSpace(0), 1).ok());
+  auto after = cluster.shard_sizes();
+  EXPECT_EQ(after[0].owned_rows, 0u);
+  EXPECT_EQ(after[1].owned_rows, owned_before);
+}
+
+TEST(ClusterTest, RebalanceConvergesASkewedCluster) {
+  ClusterCoordinator cluster(SmallCluster(4, /*batch=*/32));
+  // Heavily skewed workload: every write lands on shard 0.
+  std::vector<core::ObjectRef> refs;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<core::ObjectRef> sources;
+    if (i > 0) {
+      sources.push_back(refs.back());
+    }
+    auto ref = cluster.WriteWithLineage(0, "/f" + std::to_string(i),
+                                        "payload", sources);
+    ASSERT_TRUE(ref.ok());
+    refs.push_back(*ref);
+  }
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  auto before = cluster.shard_sizes();
+  EXPECT_GT(before[0].owned_rows, 0u);
+  EXPECT_EQ(before[1].owned_rows, 0u);
+
+  RebalanceReport report = cluster.Rebalance(/*max_min_ratio=*/1.5);
+  EXPECT_TRUE(report.converged);
+  EXPECT_GT(report.migrations, 0);
+  EXPECT_GT(report.min_rows, 0u);
+  EXPECT_LE(report.ratio, 1.5);
+  EXPECT_GT(cluster.migration_stats().batches, 0u);
+
+  // Rebalancing changed placement, not answers.
+  waldo::ProvDb merged;
+  cluster.MergeInto(&merged);
+  pql::ProvDbSource merged_source(&merged);
+  FederatedSource federated = cluster.Source(0);
+  const std::string query =
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"/f23\"";
+  EXPECT_EQ(RunQuery(&federated, query), RunQuery(&merged_source, query));
+  EXPECT_GE(RunQuery(&federated, query).size(), 23u);
+}
+
+TEST(ClusterTest, RebalanceIsANoOpOnABalancedCluster) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  BuildCrossShardChain(&cluster, 8);  // round-robin: already balanced
+  ASSERT_TRUE(cluster.Sync().ok());
+  RebalanceReport report = cluster.Rebalance(/*max_min_ratio=*/2.0);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.migrations, 0);
+  EXPECT_EQ(cluster.migration_stats().migrations, 0u);
+}
+
 TEST(ClusterTest, SingleShardClusterNeedsNoNetwork) {
   ClusterCoordinator cluster(SmallCluster(1));
   BuildCrossShardChain(&cluster, 5);

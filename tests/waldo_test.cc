@@ -225,6 +225,148 @@ TEST(ProvDbTest, DeserializeRejectsCorruptImage) {
   EXPECT_FALSE(ProvDb::Deserialize(image).ok());
 }
 
+// ---- Range surface (cluster migration) --------------------------------------
+
+// Fixture data: pnodes 10..12 form a chain 12 <- 11 <- 10, and pnode 50
+// outside the range depends on 11 inside it.
+ProvDb RangeDb() {
+  ProvDb db;
+  db.Insert(Entry({10, 0}, core::Record::Name("/a")));
+  db.Insert(Entry({10, 0}, core::Record::Type("FILE")));
+  db.Insert(Entry({11, 0}, core::Record::Name("/b")));
+  db.Insert(Entry({11, 0}, core::Record::Input({10, 0})));
+  db.Insert(Entry({12, 0}, core::Record::Name("/c")));
+  db.Insert(Entry({12, 0}, core::Record::Input({11, 0})));
+  db.Insert(Entry({50, 0}, core::Record::Name("/far")));
+  db.Insert(Entry({50, 0}, core::Record::Input({11, 0})));
+  return db;
+}
+
+TEST(ProvDbTest, RecordAndEdgeCountAccessors) {
+  ProvDb db = RangeDb();
+  EXPECT_EQ(db.RecordCount(), 5u);
+  EXPECT_EQ(db.EdgeCount(), 3u);
+  EXPECT_EQ(db.RecordCount(), db.stats().records);
+  EXPECT_EQ(db.EdgeCount(), db.stats().edges);
+}
+
+TEST(ProvDbTest, RowsInRangeCountsSubjectRows) {
+  ProvDb db = RangeDb();
+  EXPECT_EQ(db.RowsInRange(10, 13), 6u);  // 4 attrs + 2 in-range fwd edges
+  EXPECT_EQ(db.RowsInRange(50, 51), 2u);  // /far's name + its edge
+  EXPECT_EQ(db.RowsInRange(13, 50), 0u);
+  auto weights = db.PnodeRowsInRange(10, 13);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_EQ(weights[0], (std::pair<core::PnodeId, uint64_t>{10, 2}));
+  EXPECT_EQ(weights[1], (std::pair<core::PnodeId, uint64_t>{11, 2}));
+  EXPECT_EQ(weights[2], (std::pair<core::PnodeId, uint64_t>{12, 2}));
+}
+
+TEST(ProvDbTest, InsertUniqueSkipsRowsAlreadyPresent) {
+  ProvDb db = RangeDb();
+  EXPECT_FALSE(db.InsertUnique(Entry({10, 0}, core::Record::Name("/a"))));
+  EXPECT_FALSE(db.InsertUnique(Entry({11, 0}, core::Record::Input({10, 0}))));
+  EXPECT_EQ(db.RecordCount(), 5u);
+  EXPECT_EQ(db.EdgeCount(), 3u);
+  EXPECT_TRUE(db.InsertUnique(Entry({10, 0}, core::Record::Name("/other"))));
+  EXPECT_TRUE(db.InsertUnique(Entry({11, 0}, core::Record::Input({12, 0}))));
+  EXPECT_FALSE(db.InsertUnique(Entry({11, 0}, core::Record::Input({12, 0}))));
+  EXPECT_EQ(db.RecordCount(), 6u);
+  EXPECT_EQ(db.EdgeCount(), 4u);
+}
+
+TEST(ProvDbTest, InsertUniqueCompletesAHalfPresentEdge) {
+  // After DeleteRange(10, 13), the 50 -> 11 edge survives only as 50's
+  // forward row; re-inserting the entry must restore the missing reverse
+  // half without duplicating the forward one.
+  ProvDb db = RangeDb();
+  db.DeleteRange(10, 13);
+  ASSERT_TRUE(db.Outputs({11, 0}).empty());
+  ASSERT_EQ(db.Inputs({50, 0}).size(), 1u);
+  EXPECT_TRUE(db.InsertUnique(Entry({50, 0}, core::Record::Input({11, 0}))));
+  EXPECT_EQ(db.Inputs({50, 0}).size(), 1u);
+  ASSERT_EQ(db.Outputs({11, 0}).size(), 1u);
+  EXPECT_EQ(db.Outputs({11, 0})[0], (core::ObjectRef{50, 0}));
+}
+
+TEST(ProvDbTest, DeleteRangeIgnoresEmptyAndInvertedRanges) {
+  ProvDb db = RangeDb();
+  EXPECT_EQ(db.DeleteRange(0, 0), 0u);
+  EXPECT_EQ(db.DeleteRange(50, 10), 0u);
+  EXPECT_EQ(db.RecordCount(), 5u);
+  EXPECT_EQ(db.AllPnodes().size(), 4u);
+  EXPECT_EQ(db.NameOf(10), "/a");
+}
+
+TEST(ProvDbTest, EntriesInRangeReplayIntoAnEquivalentRange) {
+  ProvDb db = RangeDb();
+  ProvDb moved;
+  for (const auto& entry : db.EntriesInRange(10, 13)) {
+    moved.Insert(entry);
+  }
+  // Subject rows of 10..12 all arrived.
+  EXPECT_EQ(moved.RecordsOf({10, 0}), db.RecordsOf({10, 0}));
+  EXPECT_EQ(moved.Inputs({11, 0}), db.Inputs({11, 0}));
+  EXPECT_EQ(moved.Inputs({12, 0}), db.Inputs({12, 0}));
+  // The reverse row naming out-of-range 50 as descendant of 11 came too.
+  EXPECT_EQ(moved.Outputs({11, 0}), db.Outputs({11, 0}));
+  // But 50's own attribute rows did not (they are not in the range).
+  EXPECT_TRUE(moved.RecordsOf({50, 0}).empty());
+  // No duplicates: the 12<-11 edge appears once although both ends are
+  // in range (forward and reverse rows come from one entry).
+  EXPECT_EQ(moved.Inputs({12, 0}).size(), 1u);
+  EXPECT_EQ(moved.EdgeCount(), 3u);
+}
+
+TEST(ProvDbTest, DeleteRangeDropsKeyedRowsOnly) {
+  ProvDb db = RangeDb();
+  uint64_t removed = db.DeleteRange(10, 13);
+  EXPECT_GT(removed, 0u);
+  // In-range subjects are gone from every surface.
+  EXPECT_TRUE(db.RecordsOf({10, 0}).empty());
+  EXPECT_TRUE(db.Inputs({12, 0}).empty());
+  EXPECT_TRUE(db.Outputs({11, 0}).empty());
+  EXPECT_TRUE(db.VersionsOf(11).empty());
+  EXPECT_TRUE(db.PnodesByName("/b").empty());
+  EXPECT_EQ(db.NameOf(10), "");
+  EXPECT_EQ(db.RowsInRange(10, 13), 0u);
+  // Out-of-range rows stay — including 50's forward edge into the range.
+  EXPECT_EQ(db.RecordsOf({50, 0}).size(), 1u);
+  ASSERT_EQ(db.Inputs({50, 0}).size(), 1u);
+  EXPECT_EQ(db.Inputs({50, 0})[0], (core::ObjectRef{11, 0}));
+  ASSERT_EQ(db.PnodesByName("/far").size(), 1u);
+  // Counters reconcile.
+  EXPECT_EQ(db.RecordCount(), 1u);
+  EXPECT_EQ(db.EdgeCount(), 1u);
+}
+
+TEST(ProvDbTest, DeleteRangeSurvivesSerializeRoundTrip) {
+  ProvDb db = RangeDb();
+  db.DeleteRange(10, 13);
+  auto restored = ProvDb::Deserialize(db.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->RecordsOf({10, 0}).empty());
+  EXPECT_TRUE(restored->VersionsOf(12).empty());
+  // The deleted reverse row does not resurrect from 50's surviving forward
+  // edge: outputs rebuild from 'o/' keys alone.
+  EXPECT_TRUE(restored->Outputs({11, 0}).empty());
+  EXPECT_EQ(restored->RecordsOf({50, 0}), db.RecordsOf({50, 0}));
+  EXPECT_EQ(restored->Inputs({50, 0}), db.Inputs({50, 0}));
+  EXPECT_EQ(restored->PnodesByName("/far"), db.PnodesByName("/far"));
+  EXPECT_EQ(restored->stats().records, db.stats().records);
+  EXPECT_EQ(restored->stats().edges, db.stats().edges);
+}
+
+TEST(ProvDbTest, PartialNameIndexDeleteKeepsSurvivors) {
+  ProvDb db;
+  db.Insert(Entry({5, 0}, core::Record::Name("/twin")));
+  db.Insert(Entry({80, 0}, core::Record::Name("/twin")));  // hard link twin
+  db.DeleteRange(0, 10);
+  auto by_name = db.PnodesByName("/twin");
+  ASSERT_EQ(by_name.size(), 1u);
+  EXPECT_EQ(by_name[0], 80u);
+}
+
 // ---- Waldo daemon ------------------------------------------------------------
 
 class WaldoTest : public ::testing::Test {
