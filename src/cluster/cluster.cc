@@ -29,8 +29,11 @@ ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
         std::make_unique<workloads::Machine>(machine_options));
     worker_pids_.push_back(machines_.back()->Spawn("clusterd"));
     dbs.push_back(machines_.back()->db());
+    journals_.push_back(
+        std::make_unique<ClusterJournal>(&machines_.back()->basefs()));
   }
-  queue_ = std::make_unique<IngestQueue>(&net_, &shard_map_, std::move(dbs),
+  queue_ = std::make_unique<IngestQueue>(&env_, &net_, &shard_map_,
+                                         std::move(dbs),
                                          options.ingest_batch_records);
 }
 
@@ -64,6 +67,9 @@ Result<core::ObjectRef> ClusterCoordinator::RefOfPath(int shard,
 
 Status ClusterCoordinator::Sync() {
   for (int shard = 0; shard < shard_count(); ++shard) {
+    if (env_.MaybeCrash()) {
+      return Unavailable("sync: coordinator crashed");
+    }
     workloads::Machine& m = *machines_[shard];
     lasagna::LasagnaFs* volume = m.volume();
     PASS_RETURN_IF_ERROR(volume->ForceRotate());
@@ -72,17 +78,135 @@ Status ClusterCoordinator::Sync() {
     PASS_ASSIGN_OR_RETURN(
         lasagna::RecoveryReport report,
         lasagna::RunRecovery(&m.basefs(), options_.lasagna_options.log_dir));
+    // Replication batches born from this shard's logs journal here.
+    queue_->SetJournal(journals_[shard].get());
     for (const lasagna::LogEntry& entry : report.recovered_entries) {
-      m.db()->Insert(entry);  // local ingest: no network
+      // InsertUnique, not Insert: after a crash the same log is recovered
+      // again, and local replay must not duplicate rows.
+      m.db()->InsertUnique(entry);  // local ingest: no network
       queue_->Offer(shard, entry);
       ++entries_recovered_;
+      if (env_.crashed()) {
+        return Unavailable("sync: coordinator crashed");
+      }
+    }
+    // Drain this shard's batches before its logs go away: only once every
+    // cross-shard entry is either applied or durable in the journal may the
+    // log that produced it be removed.
+    queue_->Flush();
+    if (env_.MaybeCrash()) {
+      return Unavailable("sync: coordinator crashed");
     }
     for (const std::string& path : volume->ClosedLogPaths()) {
       PASS_RETURN_IF_ERROR(volume->RemoveLog(path));
     }
   }
-  queue_->Flush();
   return Status::Ok();
+}
+
+Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
+  ClusterRecoveryReport report;
+  double start_seconds = env_.clock().seconds();
+  env_.ClearCrash();
+  // The pending queues died with the coordinator; journaled batches are the
+  // durable truth.
+  queue_->DropPending();
+  queue_->SetJournal(nullptr);
+
+  std::vector<JournalState> states;
+  states.reserve(machines_.size());
+  for (size_t shard = 0; shard < machines_.size(); ++shard) {
+    PASS_ASSIGN_OR_RETURN(JournalState state, journals_[shard]->Scan());
+    ++report.journals_scanned;
+    report.journal_records_scanned += state.records_scanned;
+    if (state.truncated) {
+      ++report.truncated_journals;
+    }
+    next_migration_id_ =
+        std::max(next_migration_id_, state.max_migration_id + 1);
+    states.push_back(std::move(state));
+  }
+
+  // Rebuild the ShardMap from the journaled epoch history, exactly as a
+  // restarted coordinator with empty memory would.
+  std::vector<JournalEpochBump> bumps;
+  for (const JournalState& state : states) {
+    bumps.insert(bumps.end(), state.epoch_bumps.begin(),
+                 state.epoch_bumps.end());
+  }
+  std::sort(bumps.begin(), bumps.end(),
+            [](const JournalEpochBump& a, const JournalEpochBump& b) {
+              return a.epoch < b.epoch;
+            });
+  shard_map_.Reset();
+  for (const JournalEpochBump& bump : bumps) {
+    PASS_RETURN_IF_ERROR(shard_map_.Assign(bump.range, bump.to_shard));
+    if (shard_map_.epoch() != bump.epoch) {
+      return Internal("recover: epoch replay diverged from the journal");
+    }
+    ++report.epoch_bumps_replayed;
+  }
+
+  // Roll interrupted migrations forward. A migration whose EPOCH_BUMP is
+  // durable already routes queries to the destination, so the copy and
+  // delete must finish; one whose bump never became durable changed
+  // nothing and is discarded (like an orphaned transaction).
+  for (size_t shard = 0; shard < states.size(); ++shard) {
+    for (const JournalMigration& migration : states[shard].migrations) {
+      if (migration.committed) {
+        continue;
+      }
+      if (!migration.epoch_bumped) {
+        // Routing never changed and nothing moved: discard, and close the
+        // record (a COMMIT with no bump) so the checkpoint drops it and
+        // later recoveries do not re-report it.
+        journals_[shard]->AppendMigrateCommit(migration.id);
+        ++report.migrations_aborted;
+        continue;
+      }
+      ClusterJournal* journal = journals_[shard].get();
+      waldo::ProvDb* source = machines_[migration.from]->db();
+      if (!migration.copied) {
+        std::vector<lasagna::LogEntry> entries =
+            source->EntriesInRange(migration.range.begin,
+                                   migration.range.end);
+        queue_->ShipTo(migration.to, entries);
+        journal->AppendMigrateCopied(migration.id);
+      }
+      source->DeleteRange(migration.range.begin, migration.range.end);
+      journal->AppendMigrateCommit(migration.id);
+      ++report.migrations_rolled_forward;
+    }
+  }
+
+  // Redeliver replication batches that were journaled but never
+  // acknowledged. The destination's InsertUnique makes this idempotent
+  // whether the crash hit before the send or after the apply.
+  for (size_t shard = 0; shard < states.size(); ++shard) {
+    for (const JournalBatch& batch : states[shard].batches) {
+      if (batch.applied) {
+        ++report.batches_acked;
+        continue;
+      }
+      report.entries_reapplied +=
+          queue_->Redeliver(batch.destination, batch.entries);
+      journals_[shard]->AppendReplApplied(batch.id);
+      ++report.batches_redelivered;
+    }
+  }
+
+  // Logs that were mid-consumption when the coordinator died are still on
+  // disk; a normal (journaled) sync drains them.
+  uint64_t recovered_before = entries_recovered_;
+  PASS_RETURN_IF_ERROR(Sync());
+  report.log_entries_resynced = entries_recovered_ - recovered_before;
+
+  for (auto& journal : journals_) {
+    PASS_RETURN_IF_ERROR(journal->Checkpoint());
+  }
+  report.shard_map_epoch = shard_map_.epoch();
+  report.recovery_seconds = env_.clock().seconds() - start_seconds;
+  return report;
 }
 
 Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
@@ -100,24 +224,63 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
   if (from == to_shard) {
     return report;  // nothing to move
   }
+  // Validate everything Assign will check *before* the first journal write,
+  // so a rejected call leaves no stray MIGRATE_BEGIN behind.
+  if (core::PnodeShard(range.begin) != core::PnodeShard(range.end - 1)) {
+    return InvalidArgument("migrate: range must lie in one home space");
+  }
   // Pending replication batches were routed under the current map; deliver
   // them before ownership changes.
+  queue_->SetJournal(journals_[from].get());
   queue_->Flush();
+  if (env_.MaybeCrash()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
 
-  // Assign first: it enforces the single-home-space constraint, and failing
-  // it here means nothing was scanned or shipped and no network time was
-  // charged. After it the map already routes to the destination, which is
-  // exactly right for the copy-then-delete that follows.
+  // Phase 1 — intent. A crash after only this record is an aborted
+  // migration: routing never changed, every row is still on the source.
+  uint64_t migration_id = next_migration_id_++;
+  ClusterJournal* journal = journals_[from].get();
+  journal->AppendMigrateBegin(migration_id, range, from, to_shard);
+  if (env_.MaybeCrash()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
+
+  // Phase 2 — the point of no return. Once the epoch bump is durable the
+  // map routes the range to the destination, and recovery must (and will)
+  // roll the copy and delete forward.
   PASS_RETURN_IF_ERROR(shard_map_.Assign(range, to_shard));
+  if (env_.MaybeCrash()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
+  journal->AppendEpochBump(shard_map_.epoch(), migration_id, range, to_shard);
+  if (env_.MaybeCrash()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
+
+  // Copy: idempotent through InsertUnique, so recovery may re-ship.
   waldo::ProvDb* source = machines_[from]->db();
   std::vector<lasagna::LogEntry> entries =
       source->EntriesInRange(range.begin, range.end);
   IngestQueue::ShipReport shipped = queue_->ShipTo(to_shard, entries);
+  if (env_.crashed()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
+  journal->AppendMigrateCopied(migration_id);
+  if (env_.MaybeCrash()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
   report.entries_shipped = shipped.entries_shipped;
   report.entries_skipped = shipped.entries_skipped;
   report.batches = shipped.batches;
   report.bytes = shipped.bytes;
+
+  // Phase 3 — delete the moved rows, then commit.
   report.rows_deleted = source->DeleteRange(range.begin, range.end);
+  if (env_.MaybeCrash()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
+  journal->AppendMigrateCommit(migration_id);
 
   ++migration_stats_.migrations;
   migration_stats_.entries_shipped += report.entries_shipped;

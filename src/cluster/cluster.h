@@ -20,6 +20,12 @@
 //     (see src/cluster/ingest.h), charging network per batch;
 //   * migrates pnode ranges between shards (MigrateRange) and rebalances
 //     skewed clusters (Rebalance) without changing query results;
+//   * journals every cross-shard mutation — replication batches and the
+//     three migration phases — in per-shard ClusterJournals (the cluster
+//     WAL, src/cluster/journal.h) before performing it, so Recover() can
+//     repair a coordinator crash at any point: it rebuilds the ShardMap
+//     from the journaled epoch history, rolls interrupted migrations
+//     forward, redelivers unacknowledged batches, and re-syncs the logs;
 //   * hands out FederatedSource instances — wired to the live ShardMap, so
 //     they survive later migrations — and a merged single-database view
 //     for equivalence checks.
@@ -30,6 +36,7 @@
 
 #include "src/cluster/federated_source.h"
 #include "src/cluster/ingest.h"
+#include "src/cluster/journal.h"
 #include "src/cluster/shard_map.h"
 #include "src/sim/env.h"
 #include "src/sim/net.h"
@@ -85,6 +92,22 @@ struct RebalanceReport {
   bool converged = false;
 };
 
+// What Recover() found and repaired after a coordinator crash.
+struct ClusterRecoveryReport {
+  uint64_t journals_scanned = 0;
+  uint64_t journal_records_scanned = 0;
+  uint64_t truncated_journals = 0;  // torn journal tails (CRC-detected)
+  uint64_t epoch_bumps_replayed = 0;  // ShardMap rebuild history
+  uint64_t batches_redelivered = 0;   // REPL_BATCH without REPL_APPLIED
+  uint64_t batches_acked = 0;         // already applied: skipped
+  uint64_t entries_reapplied = 0;     // rows the redeliveries inserted
+  uint64_t migrations_rolled_forward = 0;  // epoch bumped, not committed
+  uint64_t migrations_aborted = 0;  // begun, epoch never bumped: discarded
+  uint64_t log_entries_resynced = 0;  // from the closing Sync()
+  uint64_t shard_map_epoch = 0;       // post-recovery epoch
+  double recovery_seconds = 0;        // virtual time the repair cost
+};
+
 class ClusterCoordinator {
  public:
   explicit ClusterCoordinator(ClusterOptions options = ClusterOptions());
@@ -114,13 +137,31 @@ class ClusterCoordinator {
   // Recover every shard's Lasagna log into its local ProvDb and replicate
   // cross-shard entries through the batched ingest queue. Idempotent:
   // consumed logs are removed, so repeated calls only process new records.
+  // Every replication batch is journaled before the network is charged and
+  // logs are only removed once their batches are journaled, so a crash at
+  // any point (sim::Env::CrashAfterOps) is repaired by Recover(); the
+  // interrupted call returns Unavailable.
   Status Sync();
+
+  // Repair the durable state after a coordinator crash, as a restarted
+  // coordinator would: clear the crash, drop the volatile pending queues,
+  // scan every shard's cluster journal, rebuild the ShardMap by replaying
+  // the journaled EPOCH_BUMP history, roll interrupted migrations forward
+  // (or discard ones whose epoch bump never became durable), redeliver
+  // unacknowledged replication batches (idempotent via InsertUnique),
+  // re-run Sync() for logs that were mid-consumption, and checkpoint the
+  // journals. Safe to call on a healthy cluster (a no-op repair).
+  Result<ClusterRecoveryReport> Recover();
 
   // Move ownership of `range` (currently uniformly owned by one shard) to
   // `to_shard`: flush pending replication, copy the range's subject records
   // and reverse-index rows into the destination through the batched ingest
   // path (charging the network per batch), bump the ShardMap epoch, then
   // delete the moved rows from the source. Query results are unchanged.
+  // The phases are journaled (MIGRATE_BEGIN -> EPOCH_BUMP -> copy ->
+  // MIGRATE_COPIED -> delete -> MIGRATE_COMMIT) on the source shard's
+  // journal; a crash between any two phases is repaired by Recover() with
+  // each row on exactly one shard and a consistent ShardMap epoch.
   Result<MigrationReport> MigrateRange(core::PnodeRange range, int to_shard);
 
   // Migrate ranges from the fullest to the emptiest shard until the
@@ -143,6 +184,7 @@ class ClusterCoordinator {
   const IngestStats& ingest_stats() const { return queue_->stats(); }
   const MigrationStats& migration_stats() const { return migration_stats_; }
   uint64_t entries_recovered() const { return entries_recovered_; }
+  const ClusterJournal& journal(int shard) const { return *journals_[shard]; }
 
  private:
   ClusterOptions options_;
@@ -151,9 +193,11 @@ class ClusterCoordinator {
   ShardMap shard_map_;
   std::vector<std::unique_ptr<workloads::Machine>> machines_;
   std::vector<os::Pid> worker_pids_;
+  std::vector<std::unique_ptr<ClusterJournal>> journals_;
   std::unique_ptr<IngestQueue> queue_;
   MigrationStats migration_stats_;
   uint64_t entries_recovered_ = 0;
+  uint64_t next_migration_id_ = 1;
 };
 
 }  // namespace pass::cluster

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/cluster/journal.h"
 #include "src/core/object.h"
 
 namespace pass::cluster {
@@ -42,20 +43,36 @@ void IngestQueue::Enqueue(int destination, const lasagna::LogEntry& entry) {
 
 void IngestQueue::FlushShard(int destination) {
   auto& queue = pending_[destination];
-  if (queue.empty()) {
+  if (queue.empty() || Crashed()) {
     return;
   }
   std::string payload;
-  for (const lasagna::LogEntry& entry : queue) {
-    lasagna::EncodeLogEntry(&payload, entry);
+  lasagna::EncodeLogEntries(&payload, queue);
+  // WAP for the cluster: the batch is durable in the journal before any of
+  // its effects (the network send, the remote apply) happen.
+  uint64_t batch_id = 0;
+  if (journal_ != nullptr) {
+    batch_id = journal_->AppendReplBatch(destination, queue);
+  }
+  if (MaybeCrash()) {
+    return;  // journaled but never sent: recovery redelivers
   }
   net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
   ++stats_.batches_sent;
   stats_.bytes_sent += payload.size();
   waldo::ProvDb* db = shards_[destination];
   for (const lasagna::LogEntry& entry : queue) {
-    db->Insert(entry);
-    ++stats_.entries_replicated;
+    // InsertUnique: redelivery of this batch after a crash cannot duplicate
+    // rows the destination already applied.
+    if (db->InsertUnique(entry)) {
+      ++stats_.entries_replicated;
+    }
+  }
+  if (MaybeCrash()) {
+    return;  // applied but unacknowledged: redelivery is a no-op
+  }
+  if (journal_ != nullptr) {
+    journal_->AppendReplApplied(batch_id);
   }
   queue.clear();
 }
@@ -66,23 +83,47 @@ void IngestQueue::Flush() {
   }
 }
 
+void IngestQueue::DropPending() {
+  for (auto& queue : pending_) {
+    queue.clear();
+  }
+}
+
+uint64_t IngestQueue::Redeliver(
+    int destination, const std::vector<lasagna::LogEntry>& entries) {
+  std::string payload;
+  lasagna::EncodeLogEntries(&payload, entries);
+  net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+  uint64_t inserted = 0;
+  waldo::ProvDb* db = shards_[destination];
+  for (const lasagna::LogEntry& entry : entries) {
+    if (db->InsertUnique(entry)) {
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
 IngestQueue::ShipReport IngestQueue::ShipTo(
     int destination, const std::vector<lasagna::LogEntry>& entries) {
   ShipReport report;
   waldo::ProvDb* db = shards_[destination];
   for (size_t at = 0; at < entries.size(); at += batch_records_) {
-    size_t batch_end = std::min(at + batch_records_, entries.size());
-    std::string payload;
-    for (size_t i = at; i < batch_end; ++i) {
-      lasagna::EncodeLogEntry(&payload, entries[i]);
+    if (MaybeCrash()) {
+      return report;  // mid-copy crash: recovery re-ships the whole range
     }
+    size_t batch_end = std::min(at + batch_records_, entries.size());
+    std::vector<lasagna::LogEntry> chunk(entries.begin() + at,
+                                         entries.begin() + batch_end);
+    std::string payload;
+    lasagna::EncodeLogEntries(&payload, chunk);
     net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
     ++report.batches;
     report.bytes += payload.size();
-    for (size_t i = at; i < batch_end; ++i) {
+    for (const lasagna::LogEntry& entry : chunk) {
       // InsertUnique adds only the rows (or edge halves) still missing, so
       // re-sending previously replicated entries cannot duplicate them.
-      if (db->InsertUnique(entries[i])) {
+      if (db->InsertUnique(entry)) {
         ++report.entries_shipped;
       } else {
         ++report.entries_skipped;

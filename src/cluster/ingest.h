@@ -23,16 +23,29 @@
 // to one RTT per replicated entry, which is what bench/fig3_cluster uses as
 // the unbatched baseline. The same batch path ships migration traffic
 // (ShipTo) when the coordinator moves a pnode range between shards.
+//
+// Durability: every flushed batch is journaled (REPL_BATCH in the active
+// ClusterJournal) before the network is charged and marked REPL_APPLIED
+// only after the destination applied it. Application goes through
+// ProvDb::InsertUnique, so a crash anywhere in between is repaired by
+// redelivering the journaled batch. Crash points (sim::Env::MaybeCrash)
+// bracket the non-durable steps; once the environment is crashed the queue
+// does nothing, like the dead process it models. ShipTo needs no batch
+// journaling of its own — migration copies are protected by the journaled
+// MIGRATE_BEGIN/COPIED/COMMIT phases and re-run from the source rows.
 
 #include <cstdint>
 #include <vector>
 
 #include "src/cluster/shard_map.h"
 #include "src/lasagna/log_format.h"
+#include "src/sim/env.h"
 #include "src/sim/net.h"
 #include "src/waldo/provdb.h"
 
 namespace pass::cluster {
+
+class ClusterJournal;
 
 struct IngestStats {
   uint64_t entries_examined = 0;    // everything offered to the queue
@@ -44,14 +57,20 @@ struct IngestStats {
 class IngestQueue {
  public:
   // `shards[i]` is shard i's local database; `net` models the cluster
-  // fabric; `map` (borrowed, live) resolves pnode ownership.
-  IngestQueue(sim::Network* net, const ShardMap* map,
+  // fabric; `map` (borrowed, live) resolves pnode ownership; `env` supplies
+  // crash points (may be null: never crashes).
+  IngestQueue(sim::Env* env, sim::Network* net, const ShardMap* map,
               std::vector<waldo::ProvDb*> shards, size_t batch_records)
-      : net_(net),
+      : env_(env),
+        net_(net),
         map_(map),
         shards_(std::move(shards)),
         batch_records_(batch_records == 0 ? 1 : batch_records),
         pending_(shards_.size()) {}
+
+  // Journal that subsequent flushed batches append their REPL_BATCH records
+  // to — the initiating shard's journal. Null disables journaling.
+  void SetJournal(ClusterJournal* journal) { journal_ = journal; }
 
   // Examine one entry recovered on `source_shard` and enqueue copies for
   // every remote shard that must index it. Full batches flush immediately.
@@ -59,6 +78,15 @@ class IngestQueue {
 
   // Ship every partially filled batch.
   void Flush();
+
+  // Forget the volatile pending queues: they died with the crashed
+  // coordinator. Journaled batches survive and are redelivered instead.
+  void DropPending();
+
+  // Re-deliver one journaled batch during recovery: one round trip, then an
+  // idempotent apply. Returns the number of rows newly inserted.
+  uint64_t Redeliver(int destination,
+                     const std::vector<lasagna::LogEntry>& entries);
 
   // Result of one ShipTo call (migration traffic).
   struct ShipReport {
@@ -79,13 +107,17 @@ class IngestQueue {
   const IngestStats& stats() const { return stats_; }
 
  private:
+  bool Crashed() const { return env_ != nullptr && env_->crashed(); }
+  bool MaybeCrash() { return env_ != nullptr && env_->MaybeCrash(); }
   void Enqueue(int destination, const lasagna::LogEntry& entry);
   void FlushShard(int destination);
 
+  sim::Env* env_;
   sim::Network* net_;
   const ShardMap* map_;
   std::vector<waldo::ProvDb*> shards_;
   size_t batch_records_;
+  ClusterJournal* journal_ = nullptr;
   std::vector<std::vector<lasagna::LogEntry>> pending_;  // per destination
   IngestStats stats_;
 };

@@ -1,0 +1,243 @@
+#include "src/cluster/journal.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/lasagna/recovery.h"
+#include "src/util/encode.h"
+#include "src/util/logging.h"
+
+namespace pass::cluster {
+
+using lasagna::JournalRecord;
+using lasagna::JournalRecordType;
+
+namespace {
+
+std::string EncodeBatchPayload(int destination,
+                               const std::vector<lasagna::LogEntry>& entries) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(destination));
+  lasagna::EncodeLogEntries(&payload, entries);
+  return payload;
+}
+
+std::string EncodeRangePayload(core::PnodeRange range) {
+  std::string payload;
+  PutU64(&payload, range.begin);
+  PutU64(&payload, range.end);
+  return payload;
+}
+
+}  // namespace
+
+ClusterJournal::ClusterJournal(fs::MemFs* lower, std::string path)
+    : lower_(lower), path_(std::move(path)) {
+  if (lower_->ExistsRaw(path_)) {
+    // Restarted over an existing image: continue the id sequence past it.
+    auto image = lower_->ReadFileRaw(path_);
+    if (image.ok()) {
+      size_ = image->size();
+      bool truncated = false;
+      auto records = lasagna::ParseJournal(*image, &truncated);
+      if (records.ok()) {
+        for (const JournalRecord& record : *records) {
+          if (record.type == JournalRecordType::kReplBatch) {
+            next_batch_id_ = std::max(next_batch_id_, record.id + 1);
+          }
+        }
+      }
+    }
+  }
+}
+
+void ClusterJournal::Append(const JournalRecord& record) {
+  std::string frame;
+  lasagna::EncodeJournalRecord(&frame, record);
+  if (!lower_->ExistsRaw(path_)) {
+    PASS_CHECK(lower_->WriteFileRaw(path_, "").ok());
+    size_ = 0;
+  }
+  auto vnode = lower_->ResolvePath(path_);
+  PASS_CHECK(vnode.ok());
+  auto written = (*vnode)->Write(size_, frame);
+  PASS_CHECK(written.ok());
+  size_ += *written;
+  ++records_appended_;
+  bytes_appended_ += frame.size();
+}
+
+uint64_t ClusterJournal::AppendReplBatch(
+    int destination, const std::vector<lasagna::LogEntry>& entries) {
+  uint64_t id = next_batch_id_++;
+  Append(JournalRecord{JournalRecordType::kReplBatch, id,
+                       EncodeBatchPayload(destination, entries)});
+  return id;
+}
+
+void ClusterJournal::AppendReplApplied(uint64_t batch_id) {
+  Append(JournalRecord{JournalRecordType::kReplApplied, batch_id, ""});
+}
+
+void ClusterJournal::AppendMigrateBegin(uint64_t migration_id,
+                                        core::PnodeRange range, int from,
+                                        int to) {
+  std::string payload = EncodeRangePayload(range);
+  PutU32(&payload, static_cast<uint32_t>(from));
+  PutU32(&payload, static_cast<uint32_t>(to));
+  Append(JournalRecord{JournalRecordType::kMigrateBegin, migration_id,
+                       std::move(payload)});
+}
+
+void ClusterJournal::AppendEpochBump(uint64_t epoch, uint64_t migration_id,
+                                     core::PnodeRange range, int to_shard) {
+  std::string payload;
+  PutU64(&payload, migration_id);
+  payload.append(EncodeRangePayload(range));
+  PutU32(&payload, static_cast<uint32_t>(to_shard));
+  Append(JournalRecord{JournalRecordType::kEpochBump, epoch,
+                       std::move(payload)});
+}
+
+void ClusterJournal::AppendMigrateCopied(uint64_t migration_id) {
+  Append(JournalRecord{JournalRecordType::kMigrateCopied, migration_id, ""});
+}
+
+void ClusterJournal::AppendMigrateCommit(uint64_t migration_id) {
+  Append(JournalRecord{JournalRecordType::kMigrateCommit, migration_id, ""});
+}
+
+Result<JournalState> ClusterJournal::Scan() const {
+  PASS_ASSIGN_OR_RETURN(lasagna::JournalScanReport scan,
+                        lasagna::ScanJournal(lower_, path_));
+  JournalState state;
+  state.records_scanned = scan.records_scanned;
+  state.truncated = scan.truncated;
+
+  std::map<uint64_t, size_t> batch_at;      // batch id -> index in batches
+  std::map<uint64_t, size_t> migration_at;  // migration id -> index
+  for (const JournalRecord& record : scan.records) {
+    Decoder in(record.payload);
+    switch (record.type) {
+      case JournalRecordType::kReplBatch: {
+        JournalBatch batch;
+        batch.id = record.id;
+        PASS_ASSIGN_OR_RETURN(uint32_t destination, in.U32());
+        batch.destination = static_cast<int>(destination);
+        PASS_ASSIGN_OR_RETURN(
+            batch.entries,
+            lasagna::DecodeLogEntries(
+                std::string_view(record.payload).substr(in.position())));
+        batch_at[batch.id] = state.batches.size();
+        state.batches.push_back(std::move(batch));
+        break;
+      }
+      case JournalRecordType::kReplApplied: {
+        auto it = batch_at.find(record.id);
+        if (it != batch_at.end()) {
+          state.batches[it->second].applied = true;
+        }
+        break;
+      }
+      case JournalRecordType::kMigrateBegin: {
+        JournalMigration migration;
+        migration.id = record.id;
+        PASS_ASSIGN_OR_RETURN(migration.range.begin, in.U64());
+        PASS_ASSIGN_OR_RETURN(migration.range.end, in.U64());
+        PASS_ASSIGN_OR_RETURN(uint32_t from, in.U32());
+        PASS_ASSIGN_OR_RETURN(uint32_t to, in.U32());
+        migration.from = static_cast<int>(from);
+        migration.to = static_cast<int>(to);
+        migration_at[migration.id] = state.migrations.size();
+        state.migrations.push_back(migration);
+        state.max_migration_id = std::max(state.max_migration_id,
+                                          migration.id);
+        break;
+      }
+      case JournalRecordType::kMigrateCopied:
+      case JournalRecordType::kMigrateCommit: {
+        auto it = migration_at.find(record.id);
+        if (it != migration_at.end()) {
+          JournalMigration& migration = state.migrations[it->second];
+          if (record.type == JournalRecordType::kMigrateCopied) {
+            migration.copied = true;
+          } else {
+            migration.committed = true;
+          }
+        }
+        break;
+      }
+      case JournalRecordType::kEpochBump: {
+        JournalEpochBump bump;
+        bump.epoch = record.id;
+        PASS_ASSIGN_OR_RETURN(bump.migration_id, in.U64());
+        PASS_ASSIGN_OR_RETURN(bump.range.begin, in.U64());
+        PASS_ASSIGN_OR_RETURN(bump.range.end, in.U64());
+        PASS_ASSIGN_OR_RETURN(uint32_t to_shard, in.U32());
+        bump.to_shard = static_cast<int>(to_shard);
+        state.epoch_bumps.push_back(bump);
+        break;
+      }
+    }
+  }
+  // Link bumps to their migrations after the full pass, so classification
+  // does not depend on record order (Checkpoint may rewrite bumps first).
+  for (const JournalEpochBump& bump : state.epoch_bumps) {
+    auto it = migration_at.find(bump.migration_id);
+    if (it != migration_at.end()) {
+      state.migrations[it->second].epoch_bumped = true;
+      state.migrations[it->second].epoch = bump.epoch;
+    }
+  }
+  return state;
+}
+
+Status ClusterJournal::Checkpoint() {
+  PASS_ASSIGN_OR_RETURN(JournalState state, Scan());
+  std::vector<JournalRecord> keep;
+  for (const JournalEpochBump& bump : state.epoch_bumps) {
+    std::string payload;
+    PutU64(&payload, bump.migration_id);
+    payload.append(EncodeRangePayload(bump.range));
+    PutU32(&payload, static_cast<uint32_t>(bump.to_shard));
+    keep.push_back(JournalRecord{JournalRecordType::kEpochBump, bump.epoch,
+                                 std::move(payload)});
+  }
+  for (const JournalMigration& migration : state.migrations) {
+    if (migration.committed) {
+      continue;
+    }
+    std::string payload = EncodeRangePayload(migration.range);
+    PutU32(&payload, static_cast<uint32_t>(migration.from));
+    PutU32(&payload, static_cast<uint32_t>(migration.to));
+    keep.push_back(JournalRecord{JournalRecordType::kMigrateBegin,
+                                 migration.id, std::move(payload)});
+    if (migration.copied) {
+      keep.push_back(JournalRecord{JournalRecordType::kMigrateCopied,
+                                   migration.id, ""});
+    }
+  }
+  for (const JournalBatch& batch : state.batches) {
+    if (batch.applied) {
+      continue;
+    }
+    keep.push_back(JournalRecord{JournalRecordType::kReplBatch, batch.id,
+                                 EncodeBatchPayload(batch.destination,
+                                                    batch.entries)});
+  }
+  Rewrite(keep);
+  return Status::Ok();
+}
+
+void ClusterJournal::Rewrite(const std::vector<JournalRecord>& records) {
+  // Maintenance write, raw like RemoveLog: checkpointing is a recovery-time
+  // housekeeping operation, not part of the charged workload path.
+  std::string image;
+  for (const JournalRecord& record : records) {
+    lasagna::EncodeJournalRecord(&image, record);
+  }
+  size_ = image.size();
+  PASS_CHECK(lower_->WriteFileRaw(path_, image).ok());
+}
+
+}  // namespace pass::cluster

@@ -1,0 +1,131 @@
+#ifndef SRC_CLUSTER_JOURNAL_H_
+#define SRC_CLUSTER_JOURNAL_H_
+
+// ClusterJournal: the cluster's write-ahead journal — the single durability
+// path for all cross-shard mutation.
+//
+// The Lasagna log guarantees provenance frames are durable before the data
+// they describe (WAP, §5.6). The cluster journal extends that discipline to
+// operations that span machines: every shard keeps one journal on its lower
+// file system (next to its provenance logs, in the same disk zone), and
+//
+//   * the ingest queue appends a REPL_BATCH record — the encoded batch plus
+//     its destination — before charging the network, and a REPL_APPLIED
+//     record only after the remote apply, so a coordinator crash at any
+//     point can be replayed (the apply path is ProvDb::InsertUnique, which
+//     makes redelivery idempotent);
+//
+//   * a range migration is a journaled three-phase protocol:
+//     MIGRATE_BEGIN -> EPOCH_BUMP (the ShardMap reassignment, the durable
+//     point of no return) -> copy -> MIGRATE_COPIED -> delete ->
+//     MIGRATE_COMMIT. Recovery rolls a migration forward iff its epoch bump
+//     is durable, and discards it otherwise — either way each row ends on
+//     exactly one shard and the ShardMap epoch is consistent;
+//
+//   * EPOCH_BUMP records are never garbage-collected: replaying them in
+//     epoch order rebuilds the ShardMap of a restarted coordinator.
+//
+// Scanning and torn-tail classification reuse the Lasagna recovery
+// machinery (lasagna::ScanJournal); this layer owns payload semantics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/object.h"
+#include "src/fs/memfs.h"
+#include "src/lasagna/log_format.h"
+#include "src/util/result.h"
+
+namespace pass::cluster {
+
+// One journaled replication batch.
+struct JournalBatch {
+  uint64_t id = 0;
+  int destination = -1;
+  std::vector<lasagna::LogEntry> entries;
+  bool applied = false;  // its REPL_APPLIED record is durable
+};
+
+// One journaled migration, classified by which phase records are durable.
+struct JournalMigration {
+  uint64_t id = 0;
+  core::PnodeRange range{};
+  int from = -1;
+  int to = -1;
+  uint64_t epoch = 0;  // epoch its EPOCH_BUMP assigned (0 = none durable)
+  bool epoch_bumped = false;
+  bool copied = false;
+  bool committed = false;
+};
+
+// One ShardMap reassignment (kept forever: the map rebuild history).
+struct JournalEpochBump {
+  uint64_t epoch = 0;
+  uint64_t migration_id = 0;
+  core::PnodeRange range{};
+  int to_shard = -1;
+};
+
+// Classified contents of one journal image.
+struct JournalState {
+  uint64_t records_scanned = 0;
+  bool truncated = false;  // torn tail detected via CRC, valid prefix kept
+  std::vector<JournalBatch> batches;
+  std::vector<JournalMigration> migrations;
+  std::vector<JournalEpochBump> epoch_bumps;
+  uint64_t max_migration_id = 0;
+};
+
+class ClusterJournal {
+ public:
+  // The journal lives at `path` on `lower` (under the provenance-log prefix
+  // so appends land in the same disk zone as the Lasagna log). An existing
+  // image — a restart — is scanned to continue the batch id sequence.
+  explicit ClusterJournal(fs::MemFs* lower,
+                          std::string path = "/.pass/cluster.journal");
+
+  // ---- Append side ----------------------------------------------------------
+  // Every append reaches the lower file system (a charged write) before it
+  // returns: the WAP guarantee, extended to cluster operations.
+
+  // Journal a replication batch bound for `destination`; returns its id.
+  uint64_t AppendReplBatch(int destination,
+                           const std::vector<lasagna::LogEntry>& entries);
+  void AppendReplApplied(uint64_t batch_id);
+  void AppendMigrateBegin(uint64_t migration_id, core::PnodeRange range,
+                          int from, int to);
+  void AppendEpochBump(uint64_t epoch, uint64_t migration_id,
+                       core::PnodeRange range, int to_shard);
+  void AppendMigrateCopied(uint64_t migration_id);
+  void AppendMigrateCommit(uint64_t migration_id);
+
+  // ---- Recovery side --------------------------------------------------------
+
+  // Scan and classify the durable image (tolerant of a torn tail).
+  Result<JournalState> Scan() const;
+
+  // Rewrite the journal keeping only what future recoveries need: every
+  // EPOCH_BUMP, plus the records of batches not yet applied and migrations
+  // not yet committed. Bounds journal growth after a successful recovery.
+  Status Checkpoint();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  void Append(const lasagna::JournalRecord& record);
+  void Rewrite(const std::vector<lasagna::JournalRecord>& records);
+
+  fs::MemFs* lower_;
+  std::string path_;
+  uint64_t size_ = 0;  // durable image size (append offset)
+  uint64_t next_batch_id_ = 1;
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+}  // namespace pass::cluster
+
+#endif  // SRC_CLUSTER_JOURNAL_H_

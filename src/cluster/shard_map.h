@@ -51,6 +51,15 @@ class ShardMap {
   // a single home shard's space, and name a member shard.
   Status Assign(core::PnodeRange range, int to_shard);
 
+  // Forget every override and restart the epoch at zero. Cluster recovery
+  // rebuilds the map of a restarted coordinator by replaying the journaled
+  // EPOCH_BUMP history in epoch order (each replayed Assign re-bumps the
+  // epoch, so the rebuilt map lands on the journaled epoch exactly).
+  void Reset() {
+    overrides_.clear();
+    epoch_ = 0;
+  }
+
   // Current non-home assignments, begin-ordered, coalesced.
   std::vector<std::pair<core::PnodeRange, int>> Overrides() const;
 

@@ -1,18 +1,85 @@
 #include "src/lasagna/log_format.h"
 
+#include <algorithm>
+
 #include "src/util/crc32.h"
 #include "src/util/encode.h"
 
 namespace pass::lasagna {
 
-void EncodeLogEntry(std::string* out, const LogEntry& entry) {
-  std::string payload;
-  PutU64(&payload, entry.subject.pnode);
-  PutU32(&payload, entry.subject.version);
-  core::EncodeRecord(&payload, entry.record);
+void AppendFrame(std::string* out, std::string_view payload) {
   PutU32(out, static_cast<uint32_t>(payload.size()));
   PutU32(out, Crc32(payload));
   out->append(payload);
+}
+
+Result<std::optional<std::string_view>> FrameReader::Next() {
+  if (pos_ == data_.size()) {
+    return std::optional<std::string_view>();  // clean end
+  }
+  Decoder header(data_.substr(pos_));
+  auto len = header.U32();
+  auto crc = header.U32();
+  if (!len.ok() || !crc.ok()) {
+    return Corrupt("truncated frame header");
+  }
+  if (data_.size() - pos_ - 8 < *len) {
+    return Corrupt("truncated frame payload");
+  }
+  std::string_view payload = data_.substr(pos_ + 8, *len);
+  if (Crc32(payload) != *crc) {
+    return Corrupt("frame CRC mismatch");
+  }
+  pos_ += 8 + *len;
+  return std::optional<std::string_view>(payload);
+}
+
+void EncodeLogEntryPayload(std::string* out, const LogEntry& entry) {
+  PutU64(out, entry.subject.pnode);
+  PutU32(out, entry.subject.version);
+  core::EncodeRecord(out, entry.record);
+}
+
+Result<LogEntry> DecodeLogEntryPayload(std::string_view payload) {
+  Decoder body(payload);
+  LogEntry entry;
+  PASS_ASSIGN_OR_RETURN(entry.subject.pnode, body.U64());
+  PASS_ASSIGN_OR_RETURN(entry.subject.version, body.U32());
+  PASS_ASSIGN_OR_RETURN(entry.record, core::DecodeRecord(&body));
+  return entry;
+}
+
+void EncodeLogEntry(std::string* out, const LogEntry& entry) {
+  std::string payload;
+  EncodeLogEntryPayload(&payload, entry);
+  AppendFrame(out, payload);
+}
+
+void EncodeLogEntries(std::string* out, const std::vector<LogEntry>& entries) {
+  PutVarint(out, entries.size());
+  std::string payload;
+  for (const LogEntry& entry : entries) {
+    payload.clear();
+    EncodeLogEntryPayload(&payload, entry);
+    PutVarint(out, payload.size());
+    out->append(payload);
+  }
+}
+
+Result<std::vector<LogEntry>> DecodeLogEntries(std::string_view data) {
+  Decoder in(data);
+  PASS_ASSIGN_OR_RETURN(uint64_t count, in.Varint());
+  std::vector<LogEntry> entries;
+  // A corrupt count must fail per-entry below, not blow up this reserve:
+  // every encoded entry takes at least one byte of input.
+  entries.reserve(std::min<uint64_t>(count, in.remaining()));
+  for (uint64_t i = 0; i < count; ++i) {
+    PASS_ASSIGN_OR_RETURN(uint64_t len, in.Varint());
+    PASS_ASSIGN_OR_RETURN(std::string_view payload, in.Raw(len));
+    PASS_ASSIGN_OR_RETURN(LogEntry entry, DecodeLogEntryPayload(payload));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 std::string EncodeTxnDescriptor(const TxnDescriptor& descriptor) {
@@ -43,28 +110,12 @@ Result<TxnDescriptor> DecodeTxnDescriptor(std::string_view blob) {
 }
 
 Result<std::optional<LogEntry>> LogReader::Next() {
-  if (pos_ == data_.size()) {
+  PASS_ASSIGN_OR_RETURN(std::optional<std::string_view> payload,
+                        frames_.Next());
+  if (!payload.has_value()) {
     return std::optional<LogEntry>();  // clean end
   }
-  Decoder header(data_.substr(pos_));
-  auto len = header.U32();
-  auto crc = header.U32();
-  if (!len.ok() || !crc.ok()) {
-    return Corrupt("truncated log frame header");
-  }
-  if (data_.size() - pos_ - 8 < *len) {
-    return Corrupt("truncated log frame payload");
-  }
-  std::string_view payload = data_.substr(pos_ + 8, *len);
-  if (Crc32(payload) != *crc) {
-    return Corrupt("log frame CRC mismatch");
-  }
-  Decoder body(payload);
-  LogEntry entry;
-  PASS_ASSIGN_OR_RETURN(entry.subject.pnode, body.U64());
-  PASS_ASSIGN_OR_RETURN(entry.subject.version, body.U32());
-  PASS_ASSIGN_OR_RETURN(entry.record, core::DecodeRecord(&body));
-  pos_ += 8 + *len;
+  PASS_ASSIGN_OR_RETURN(LogEntry entry, DecodeLogEntryPayload(*payload));
   return std::optional<LogEntry>(std::move(entry));
 }
 
@@ -87,6 +138,49 @@ Result<std::vector<LogEntry>> ParseLog(std::string_view data,
       return entries;
     }
     entries.push_back(std::move(**next));
+  }
+}
+
+void EncodeJournalRecord(std::string* out, const JournalRecord& record) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(record.type));
+  PutU64(&payload, record.id);
+  payload.append(record.payload);
+  AppendFrame(out, payload);
+}
+
+Result<std::vector<JournalRecord>> ParseJournal(std::string_view data,
+                                                bool* truncated) {
+  if (truncated != nullptr) {
+    *truncated = false;
+  }
+  FrameReader frames(data);
+  std::vector<JournalRecord> records;
+  for (;;) {
+    auto next = frames.Next();
+    if (!next.ok()) {
+      if (truncated != nullptr) {
+        *truncated = true;
+      }
+      return records;  // damaged tail: return the valid prefix
+    }
+    if (!next->has_value()) {
+      return records;
+    }
+    Decoder body(**next);
+    JournalRecord record;
+    auto type = body.U8();
+    auto id = body.U64();
+    if (!type.ok() || !id.ok()) {
+      if (truncated != nullptr) {
+        *truncated = true;
+      }
+      return records;  // frame too short for a record header
+    }
+    record.type = static_cast<JournalRecordType>(*type);
+    record.id = *id;
+    record.payload = std::string(next->value().substr(body.position()));
+    records.push_back(std::move(record));
   }
 }
 

@@ -45,8 +45,47 @@ struct TxnDescriptor {
   uint64_t length = 0;
 };
 
+// ---- Generic CRC framing ----------------------------------------------------
+// The [len][crc][payload] frame is shared by the provenance log and the
+// cluster write-ahead journal; both get torn-tail detection from the same
+// two functions.
+
+// Frame one payload (length + CRC + payload).
+void AppendFrame(std::string* out, std::string_view payload);
+
+// Streaming frame decoder over a file image. Yields payloads; stops at a
+// truncated or corrupt tail (the crash case).
+class FrameReader {
+ public:
+  explicit FrameReader(std::string_view data) : data_(data) {}
+
+  // nullopt = clean end of input. Corrupt() = damaged tail; callers count it
+  // and stop.
+  Result<std::optional<std::string_view>> Next();
+
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Provenance log entries -------------------------------------------------
+
 // Frame one entry (length + CRC + payload).
 void EncodeLogEntry(std::string* out, const LogEntry& entry);
+
+// The frame payload alone (no length/CRC): the unit the batch codec below
+// and the journal's REPL_BATCH payloads reuse.
+void EncodeLogEntryPayload(std::string* out, const LogEntry& entry);
+Result<LogEntry> DecodeLogEntryPayload(std::string_view payload);
+
+// Varint-framed LogEntry vector codec: [varint count] then, per entry,
+// [varint len][payload]. One codec serves the replication wire batches,
+// migration traffic, and REPL_BATCH journal payloads; integrity comes from
+// the enclosing frame's CRC, not per-entry framing.
+void EncodeLogEntries(std::string* out, const std::vector<LogEntry>& entries);
+Result<std::vector<LogEntry>> DecodeLogEntries(std::string_view data);
 
 // Encode/decode the ENDTXN descriptor blob.
 std::string EncodeTxnDescriptor(const TxnDescriptor& descriptor);
@@ -56,23 +95,54 @@ Result<TxnDescriptor> DecodeTxnDescriptor(std::string_view blob);
 // corrupt tail (the crash case).
 class LogReader {
  public:
-  explicit LogReader(std::string_view data) : data_(data) {}
+  explicit LogReader(std::string_view data) : frames_(data) {}
 
   // nullopt = clean end of log. Corrupt() = damaged tail; callers count it
   // and stop.
   Result<std::optional<LogEntry>> Next();
 
-  size_t position() const { return pos_; }
+  size_t position() const { return frames_.position(); }
 
  private:
-  std::string_view data_;
-  size_t pos_ = 0;
+  FrameReader frames_;
 };
 
 // Parse an entire log image; `truncated` (optional) reports whether the log
 // ended in a damaged frame.
 Result<std::vector<LogEntry>> ParseLog(std::string_view data,
                                        bool* truncated = nullptr);
+
+// ---- Cluster journal records ------------------------------------------------
+// The cluster write-ahead journal (src/cluster/journal.h) extends the WAP
+// transaction discipline to cross-shard mutation. It reuses the log's CRC
+// framing; each frame carries one typed record. Payload semantics live in
+// the cluster layer — this is only the vocabulary plus the codec, so
+// recovery can scan and classify journals exactly like logs.
+
+enum class JournalRecordType : uint8_t {
+  kReplBatch = 1,      // replication batch; payload = destination + entries
+  kReplApplied = 2,    // batch `id` was applied at its destination
+  kMigrateBegin = 3,   // migration `id` started; payload = range + from + to
+  kMigrateCopied = 4,  // migration `id` finished its copy phase
+  kMigrateCommit = 5,  // migration `id` deleted its source rows: done
+  kEpochBump = 6,      // ShardMap epoch `id` assigned; payload = range + shard
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kReplBatch;
+  uint64_t id = 0;  // batch id / migration id / epoch, per type
+  std::string payload;
+
+  bool operator==(const JournalRecord&) const = default;
+};
+
+// Frame one journal record (length + CRC + [type][id][payload]).
+void EncodeJournalRecord(std::string* out, const JournalRecord& record);
+
+// Parse an entire journal image; `truncated` (optional) reports whether it
+// ended in a damaged frame (the valid prefix is still returned).
+Result<std::vector<JournalRecord>> ParseJournal(std::string_view data,
+                                                bool* truncated = nullptr);
 
 }  // namespace pass::lasagna
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "src/util/md5.h"
 #include "src/util/strings.h"
@@ -12,6 +13,17 @@ namespace {
 struct OpenTxn {
   std::vector<LogEntry> entries;  // including BEGINTXN
 };
+
+// A complete data transaction whose extent has not been superseded by a
+// later overlapping write: still individually verifiable at recovery.
+struct PendingWrite {
+  TxnDescriptor descriptor;
+  std::vector<LogEntry> entries;
+};
+
+bool Overlaps(const TxnDescriptor& a, const TxnDescriptor& b) {
+  return a.offset < b.offset + b.length && b.offset < a.offset + a.length;
+}
 
 // Numeric sort for log.N names.
 uint64_t LogNumber(const std::string& name) {
@@ -32,16 +44,24 @@ Result<RecoveryReport> RunRecovery(fs::MemFs* lower,
   }
   PASS_ASSIGN_OR_RETURN(std::vector<std::string> names,
                         lower->ListDirRaw(log_dir));
+  // The log dir also holds the cluster journal; only log.N files are logs.
+  names.erase(std::remove_if(names.begin(), names.end(),
+                             [](const std::string& name) {
+                               return name.rfind("log.", 0) != 0;
+                             }),
+              names.end());
   std::sort(names.begin(), names.end(),
             [](const std::string& a, const std::string& b) {
               return LogNumber(a) < LogNumber(b);
             });
 
   std::map<uint64_t, OpenTxn> open_txns;
-  // Last ENDTXN descriptor per data path, in log order: only the final
-  // write to a path can be torn by the crash.
-  std::map<std::string, TxnDescriptor> last_write;
-  std::map<std::string, std::vector<LogEntry>> last_write_entries;
+  // Per data path, the complete transactions still awaiting verification,
+  // in log order. A later write that overlaps an earlier pending extent
+  // supersedes it (the earlier data was durable before the later frames
+  // were logged, and the overlap makes its bytes unverifiable); disjoint
+  // extents of one file stay independently verifiable.
+  std::map<std::string, std::vector<PendingWrite>> pending_writes;
 
   for (const std::string& name : names) {
     std::string path = log_dir + "/" + name;
@@ -74,32 +94,36 @@ Result<RecoveryReport> RunRecovery(fs::MemFs* lower,
         ++report.complete_txns;
         std::vector<LogEntry> txn_entries = std::move(it->second.entries);
         open_txns.erase(it);
-        if (descriptor.path.empty()) {
-          // Provenance-only transaction: always consistent once complete.
-          for (auto& e : txn_entries) {
-            if (e.record.attr != core::Attr::kBeginTxn) {
-              report.recovered_entries.push_back(std::move(e));
-            }
-          }
-          continue;
-        }
-        // Data transaction: supersede any earlier pending check for the
-        // same path (its data became durable before this txn was logged).
-        if (auto prev = last_write_entries.find(descriptor.path);
-            prev != last_write_entries.end()) {
-          ++report.consistent_extents;
-          for (auto& e : prev->second) {
-            report.recovered_entries.push_back(std::move(e));
-          }
-        }
         txn_entries.erase(
             std::remove_if(txn_entries.begin(), txn_entries.end(),
                            [](const LogEntry& e) {
                              return e.record.attr == core::Attr::kBeginTxn;
                            }),
             txn_entries.end());
-        last_write[descriptor.path] = descriptor;
-        last_write_entries[descriptor.path] = std::move(txn_entries);
+        if (descriptor.path.empty()) {
+          // Provenance-only transaction: always consistent once complete.
+          for (auto& e : txn_entries) {
+            report.recovered_entries.push_back(std::move(e));
+          }
+          continue;
+        }
+        // Data transaction: supersede pending checks its extent overlaps
+        // (their data became durable before this txn was logged).
+        auto& pending = pending_writes[descriptor.path];
+        for (auto superseded = pending.begin();
+             superseded != pending.end();) {
+          if (Overlaps(superseded->descriptor, descriptor)) {
+            ++report.consistent_extents;
+            for (auto& e : superseded->entries) {
+              report.recovered_entries.push_back(std::move(e));
+            }
+            superseded = pending.erase(superseded);
+          } else {
+            ++superseded;
+          }
+        }
+        pending.push_back(
+            PendingWrite{std::move(descriptor), std::move(txn_entries)});
         continue;
       }
       // Ordinary record: attach to the (single) open transaction if one
@@ -112,25 +136,45 @@ Result<RecoveryReport> RunRecovery(fs::MemFs* lower,
 
   report.orphaned_txns += open_txns.size();
 
-  // Verify the final write to every path against the on-disk bytes.
-  for (auto& [path, descriptor] : last_write) {
-    bool consistent = false;
+  // Verify every still-pending write against the on-disk bytes. A path can
+  // fail more than once (disjoint extents); it is reported once.
+  std::set<std::string> inconsistent;
+  for (auto& [path, pending] : pending_writes) {
     auto data = lower->ReadFileRaw(path);
-    if (data.ok() && data->size() >= descriptor.offset + descriptor.length) {
-      std::string_view extent(*data);
-      extent = extent.substr(descriptor.offset, descriptor.length);
-      consistent = Md5::Hash(extent) == descriptor.data_md5;
-    }
-    if (consistent) {
-      ++report.consistent_extents;
-      for (auto& e : last_write_entries[path]) {
-        report.recovered_entries.push_back(std::move(e));
+    for (PendingWrite& write : pending) {
+      const TxnDescriptor& descriptor = write.descriptor;
+      bool consistent = false;
+      if (data.ok() &&
+          data->size() >= descriptor.offset + descriptor.length) {
+        std::string_view extent(*data);
+        extent = extent.substr(descriptor.offset, descriptor.length);
+        consistent = Md5::Hash(extent) == descriptor.data_md5;
       }
-    } else {
-      ++report.inconsistent_extents;
-      report.inconsistent_paths.push_back(path);
+      if (consistent) {
+        ++report.consistent_extents;
+        for (auto& e : write.entries) {
+          report.recovered_entries.push_back(std::move(e));
+        }
+      } else {
+        ++report.inconsistent_extents;
+        if (inconsistent.insert(path).second) {
+          report.inconsistent_paths.push_back(path);
+        }
+      }
     }
   }
+  return report;
+}
+
+Result<JournalScanReport> ScanJournal(fs::MemFs* lower,
+                                      const std::string& path) {
+  JournalScanReport report;
+  if (!lower->ExistsRaw(path)) {
+    return report;
+  }
+  PASS_ASSIGN_OR_RETURN(std::string image, lower->ReadFileRaw(path));
+  PASS_ASSIGN_OR_RETURN(report.records, ParseJournal(image, &report.truncated));
+  report.records_scanned = report.records.size();
   return report;
 }
 

@@ -28,6 +28,8 @@ struct RecoveryReport {
   uint64_t consistent_extents = 0;
   // ENDTXN whose data never (fully) reached the disk.
   uint64_t inconsistent_extents = 0;
+  // Paths with at least one inconsistent extent, deduplicated: several
+  // failing ENDTXNs for one path report it once.
   std::vector<std::string> inconsistent_paths;
 
   // Provenance entries that survived recovery (valid, complete txns), ready
@@ -36,11 +38,30 @@ struct RecoveryReport {
 };
 
 // Scan every log under `log_dir` on the (possibly crash-truncated) lower
-// file system and classify transactions. Only the *last* transaction per
-// data path can be inconsistent under ordered writes; earlier transactions'
-// data was durable before later log frames were appended.
+// file system and classify transactions. Only the last transaction per data
+// extent can be inconsistent under ordered writes: an earlier transaction's
+// data was durable before later log frames were appended, so it is verified
+// only while no later write overlaps (and thereby destroys) its extent.
 Result<RecoveryReport> RunRecovery(fs::MemFs* lower,
                                    const std::string& log_dir = "/.pass");
+
+// ---- Cluster journal scan ---------------------------------------------------
+// The cluster write-ahead journal shares the log's CRC framing, so a torn
+// journal tail is detected and classified exactly like truncated_logs above:
+// the valid prefix survives, the damaged frame is counted and dropped.
+
+struct JournalScanReport {
+  uint64_t records_scanned = 0;
+  // Journal tail destroyed mid-frame by the crash (CRC or length mismatch).
+  bool truncated = false;
+  // The valid record prefix, ready for the cluster layer to classify.
+  std::vector<JournalRecord> records;
+};
+
+// Scan one journal file on the (possibly crash-truncated) lower file
+// system; a missing file is an empty journal, not an error.
+Result<JournalScanReport> ScanJournal(fs::MemFs* lower,
+                                      const std::string& path);
 
 }  // namespace pass::lasagna
 

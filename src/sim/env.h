@@ -23,9 +23,48 @@ class Env {
   // Charge CPU work (workload computation, checksum, record marshalling).
   void ChargeCpu(Nanos ns) { clock_.Advance(ns); }
 
+  // ---- Crash injection ------------------------------------------------------
+  // Code with crash-consistency obligations (the cluster journal paths) calls
+  // MaybeCrash() at every point where a real process could die between two
+  // durable steps. Tests arm a crash with CrashAfterOps(n): the n-th crash
+  // point reached from then on fires, and the "process" stays dead — every
+  // later MaybeCrash() also reports true — until ClearCrash(). An unarmed
+  // environment only counts points, so a clean run measures how many crash
+  // sites a test must sweep.
+  void CrashAfterOps(uint64_t ops) {
+    crash_armed_ = true;
+    crash_countdown_ = ops;
+  }
+  bool MaybeCrash() {
+    if (crashed_) {
+      return true;
+    }
+    ++crash_points_passed_;
+    if (!crash_armed_) {
+      return false;
+    }
+    if (crash_countdown_ == 0) {
+      crashed_ = true;
+      return true;
+    }
+    --crash_countdown_;
+    return false;
+  }
+  bool crashed() const { return crashed_; }
+  void ClearCrash() {
+    crashed_ = false;
+    crash_armed_ = false;
+    crash_countdown_ = 0;
+  }
+  uint64_t crash_points_passed() const { return crash_points_passed_; }
+
  private:
   Clock clock_;
   Rng rng_;
+  bool crash_armed_ = false;
+  bool crashed_ = false;
+  uint64_t crash_countdown_ = 0;
+  uint64_t crash_points_passed_ = 0;
 };
 
 }  // namespace pass::sim

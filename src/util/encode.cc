@@ -41,6 +41,14 @@ void PutBytes(std::string* out, std::string_view v) {
   out->append(v.data(), v.size());
 }
 
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
 Result<std::string_view> Decoder::Take(size_t n) {
   if (data_.size() - pos_ < n) {
     return Corrupt("truncated input");
@@ -98,6 +106,20 @@ Result<std::string> Decoder::Bytes() {
   PASS_ASSIGN_OR_RETURN(uint32_t len, U32());
   PASS_ASSIGN_OR_RETURN(std::string_view piece, Take(len));
   return std::string(piece);
+}
+
+Result<std::string_view> Decoder::Raw(size_t n) { return Take(n); }
+
+Result<uint64_t> Decoder::Varint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    PASS_ASSIGN_OR_RETURN(uint8_t byte, U8());
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+  }
+  return Corrupt("varint overran 64 bits");
 }
 
 }  // namespace pass

@@ -23,6 +23,9 @@ void PutI64(std::string* out, int64_t v);
 void PutF64(std::string* out, double v);
 // 32-bit length prefix followed by the raw bytes.
 void PutBytes(std::string* out, std::string_view v);
+// LEB128 variable-length encoding: small values (counts, lengths, deltas)
+// take one byte. Used by the batch codecs on the cluster wire/journal.
+void PutVarint(std::string* out, uint64_t v);
 
 // Cursor-based decoder. Returns Corrupt() when the input is truncated, so
 // log-recovery code can stop at the valid prefix.
@@ -37,6 +40,9 @@ class Decoder {
   Result<int64_t> I64();
   Result<double> F64();
   Result<std::string> Bytes();
+  Result<uint64_t> Varint();
+  // The next `n` raw bytes (no length prefix); the view borrows the input.
+  Result<std::string_view> Raw(size_t n);
 
   size_t remaining() const { return data_.size() - pos_; }
   size_t position() const { return pos_; }

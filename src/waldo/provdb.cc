@@ -33,7 +33,9 @@ void ProvDb::Insert(const lasagna::LogEntry& entry) {
       return;
     }
     inputs_[subject].push_back(*ancestor);
+    input_set_[subject].insert(*ancestor);
     outputs_[*ancestor].push_back(subject);
+    output_set_[*ancestor].insert(subject);
     versions_[ancestor->pnode].insert(ancestor->version);
     indexes_.Put(RefKey('i', subject), EncodeRef(*ancestor));
     indexes_.Put(RefKey('o', *ancestor), EncodeRef(subject));
@@ -46,6 +48,7 @@ void ProvDb::Insert(const lasagna::LogEntry& entry) {
   core::EncodeRecord(&encoded, record);
   records_.Put(RefKey('r', subject), encoded);
   attrs_[subject].push_back(record);
+  attr_hashes_[subject].insert(core::RecordHash(record));
   ++record_count_;
 
   if (record.attr == core::Attr::kName) {
@@ -136,8 +139,16 @@ std::vector<core::PnodeId> ProvDb::AllPnodes() const {
 
 namespace {
 
+// Membership in a map-of-sets shadow: O(log n) both levels.
 template <typename Map, typename Key, typename Value>
 bool MapRowContains(const Map& map, const Key& key, const Value& value) {
+  auto it = map.find(key);
+  return it != map.end() && it->second.count(value) > 0;
+}
+
+// Membership in a map-of-vectors mirror (hash-hit confirmation only).
+template <typename Map, typename Key, typename Value>
+bool VectorRowContains(const Map& map, const Key& key, const Value& value) {
   auto it = map.find(key);
   return it != map.end() &&
          std::find(it->second.begin(), it->second.end(), value) !=
@@ -153,8 +164,8 @@ bool ProvDb::InsertUnique(const lasagna::LogEntry& entry) {
     if (ancestor == nullptr) {
       return false;
     }
-    bool have_forward = MapRowContains(inputs_, subject, *ancestor);
-    bool have_reverse = MapRowContains(outputs_, *ancestor, subject);
+    bool have_forward = MapRowContains(input_set_, subject, *ancestor);
+    bool have_reverse = MapRowContains(output_set_, *ancestor, subject);
     if (have_forward && have_reverse) {
       return false;
     }
@@ -162,16 +173,21 @@ bool ProvDb::InsertUnique(const lasagna::LogEntry& entry) {
     versions_[ancestor->pnode].insert(ancestor->version);
     if (!have_forward) {
       inputs_[subject].push_back(*ancestor);
+      input_set_[subject].insert(*ancestor);
       indexes_.Put(RefKey('i', subject), EncodeRef(*ancestor));
       ++edge_count_;  // edge_count_ counts forward rows
     }
     if (!have_reverse) {
       outputs_[*ancestor].push_back(subject);
+      output_set_[*ancestor].insert(subject);
       indexes_.Put(RefKey('o', *ancestor), EncodeRef(subject));
     }
     return true;
   }
-  if (MapRowContains(attrs_, subject, entry.record)) {
+  // Hash shadow first: a miss proves the record is new without scanning
+  // the row vector; a hit is confirmed against the real rows.
+  if (MapRowContains(attr_hashes_, subject, core::RecordHash(entry.record)) &&
+      VectorRowContains(attrs_, subject, entry.record)) {
     return false;
   }
   Insert(entry);
@@ -213,6 +229,16 @@ uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {
   }
   uint64_t removed = 0;
   const core::ObjectRef lo{begin, 0};
+  // Membership shadows shed the same key ranges as their mirrors.
+  auto erase_ref_range = [&](auto& map) {
+    auto it = map.lower_bound(lo);
+    while (it != map.end() && it->first.pnode < end) {
+      it = map.erase(it);
+    }
+  };
+  erase_ref_range(attr_hashes_);
+  erase_ref_range(input_set_);
+  erase_ref_range(output_set_);
   // Names/types referenced by in-range subjects: only their index keys can
   // need rewriting below.
   std::set<std::string> touched_names;
@@ -375,6 +401,7 @@ Result<ProvDb> ProvDb::Deserialize(std::string_view image) {
         db.by_type_[*type].insert(ref->pnode);
       }
     }
+    db.attr_hashes_[*ref].insert(core::RecordHash(*record));
     db.attrs_[*ref].push_back(*std::move(record));
     ++db.record_count_;
   });
@@ -391,6 +418,7 @@ Result<ProvDb> ProvDb::Deserialize(std::string_view image) {
       return;
     }
     db.inputs_[*subject].push_back(*ancestor);
+    db.input_set_[*subject].insert(*ancestor);
     db.versions_[subject->pnode].insert(subject->version);
     db.versions_[ancestor->pnode].insert(ancestor->version);
     ++db.edge_count_;
@@ -413,6 +441,7 @@ Result<ProvDb> ProvDb::Deserialize(std::string_view image) {
       return;
     }
     db.outputs_[*ancestor].push_back(*subject);
+    db.output_set_[*ancestor].insert(*subject);
     db.versions_[subject->pnode].insert(subject->version);
     db.versions_[ancestor->pnode].insert(ancestor->version);
   });

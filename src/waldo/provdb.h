@@ -119,6 +119,15 @@ class ProvDb {
   std::map<core::ObjectRef, std::vector<core::Record>> attrs_;
   std::map<core::ObjectRef, std::vector<core::ObjectRef>> inputs_;
   std::map<core::ObjectRef, std::vector<core::ObjectRef>> outputs_;
+  // Membership shadows of the three mirrors above, so InsertUnique — the
+  // hot path of replication redelivery and migration — answers "is this
+  // row already here" in O(log n) instead of scanning the row vector (the
+  // vectors stay authoritative: they keep per-key insertion order for the
+  // query surface). Attribute rows shadow as content hashes; a hash hit is
+  // confirmed against the real rows before an entry is dropped.
+  std::map<core::ObjectRef, std::set<core::ObjectRef>> input_set_;
+  std::map<core::ObjectRef, std::set<core::ObjectRef>> output_set_;
+  std::map<core::ObjectRef, std::set<uint64_t>> attr_hashes_;
   std::map<core::PnodeId, std::set<core::Version>> versions_;
   std::map<std::string, std::set<core::PnodeId>> by_name_;
   std::map<std::string, std::set<core::PnodeId>> by_type_;

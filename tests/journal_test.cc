@@ -1,0 +1,442 @@
+// Tests for the cluster write-ahead journal (the durability spine): record
+// codec and torn-tail classification, ClusterJournal append/scan/checkpoint,
+// and the crash-consistency acceptance sweeps — a coordinator crash at
+// *every* injected point of Sync() and MigrateRange() must recover to a
+// state where federated queries equal the merged single-database view, no
+// migrated row lives on two shards, and the ShardMap epoch is consistent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/federated_source.h"
+#include "src/cluster/journal.h"
+#include "src/fs/memfs.h"
+#include "src/lasagna/log_format.h"
+#include "src/lasagna/recovery.h"
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+
+namespace pass::cluster {
+namespace {
+
+using lasagna::JournalRecord;
+using lasagna::JournalRecordType;
+using lasagna::LogEntry;
+
+// ---- Codec / scan units -----------------------------------------------------
+
+std::vector<LogEntry> SampleEntries() {
+  return {
+      LogEntry{{(core::PnodeId{1} << 48) + 7, 0}, core::Record::Name("/x")},
+      LogEntry{{(core::PnodeId{1} << 48) + 7, 0}, core::Record::Type("FILE")},
+      LogEntry{{(core::PnodeId{0} << 48) + 3, 2},
+               core::Record::Input({(core::PnodeId{1} << 48) + 7, 0})},
+  };
+}
+
+TEST(JournalFormatTest, LogEntriesVectorCodecRoundTrip) {
+  std::vector<LogEntry> entries = SampleEntries();
+  std::string buf;
+  lasagna::EncodeLogEntries(&buf, entries);
+  auto decoded = lasagna::DecodeLogEntries(buf);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].subject, entries[i].subject);
+    EXPECT_EQ((*decoded)[i].record, entries[i].record);
+  }
+}
+
+TEST(JournalFormatTest, JournalRecordRoundTrip) {
+  std::string buf;
+  lasagna::EncodeJournalRecord(
+      &buf, JournalRecord{JournalRecordType::kReplBatch, 3, "payload"});
+  lasagna::EncodeJournalRecord(
+      &buf, JournalRecord{JournalRecordType::kReplApplied, 3, ""});
+  bool truncated = true;
+  auto records = lasagna::ParseJournal(buf, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].type, JournalRecordType::kReplBatch);
+  EXPECT_EQ((*records)[0].id, 3u);
+  EXPECT_EQ((*records)[0].payload, "payload");
+  EXPECT_EQ((*records)[1].type, JournalRecordType::kReplApplied);
+}
+
+TEST(JournalFormatTest, TornTailKeepsValidPrefix) {
+  std::string buf;
+  lasagna::EncodeJournalRecord(
+      &buf, JournalRecord{JournalRecordType::kMigrateBegin, 1, "abc"});
+  lasagna::EncodeJournalRecord(
+      &buf, JournalRecord{JournalRecordType::kMigrateCommit, 1, ""});
+  bool truncated = false;
+  auto records =
+      lasagna::ParseJournal(std::string_view(buf).substr(0, buf.size() - 3),
+                            &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].type, JournalRecordType::kMigrateBegin);
+}
+
+TEST(JournalFormatTest, CorruptFrameDetectedByCrc) {
+  std::string buf;
+  lasagna::EncodeJournalRecord(
+      &buf, JournalRecord{JournalRecordType::kEpochBump, 9, "ranges"});
+  buf[buf.size() - 2] ^= 0x20;
+  bool truncated = false;
+  auto records = lasagna::ParseJournal(buf, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(truncated);
+  EXPECT_TRUE(records->empty());
+}
+
+class ClusterJournalTest : public ::testing::Test {
+ protected:
+  ClusterJournalTest()
+      : env_(7),
+        lower_(&env_, nullptr, {}, {}, {},
+               fs::MemFsOptions{.charge_disk = false}) {}
+
+  sim::Env env_;
+  fs::MemFs lower_;
+};
+
+TEST_F(ClusterJournalTest, AppendScanRoundTrip) {
+  ClusterJournal journal(&lower_);
+  std::vector<LogEntry> entries = SampleEntries();
+  uint64_t applied_batch = journal.AppendReplBatch(2, entries);
+  journal.AppendReplApplied(applied_batch);
+  uint64_t pending_batch = journal.AppendReplBatch(1, entries);
+  core::PnodeRange range{core::ShardSpace(0).begin,
+                         core::ShardSpace(0).begin + 100};
+  journal.AppendMigrateBegin(5, range, 0, 1);
+  journal.AppendEpochBump(1, 5, range, 1);
+  journal.AppendMigrateCopied(5);
+
+  auto state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state->truncated);
+  ASSERT_EQ(state->batches.size(), 2u);
+  EXPECT_TRUE(state->batches[0].applied);
+  EXPECT_EQ(state->batches[0].destination, 2);
+  EXPECT_EQ(state->batches[0].entries.size(), entries.size());
+  EXPECT_FALSE(state->batches[1].applied);
+  EXPECT_EQ(state->batches[1].id, pending_batch);
+  ASSERT_EQ(state->migrations.size(), 1u);
+  const JournalMigration& migration = state->migrations[0];
+  EXPECT_EQ(migration.id, 5u);
+  EXPECT_EQ(migration.range, range);
+  EXPECT_EQ(migration.from, 0);
+  EXPECT_EQ(migration.to, 1);
+  EXPECT_TRUE(migration.epoch_bumped);
+  EXPECT_EQ(migration.epoch, 1u);
+  EXPECT_TRUE(migration.copied);
+  EXPECT_FALSE(migration.committed);
+  ASSERT_EQ(state->epoch_bumps.size(), 1u);
+  EXPECT_EQ(state->epoch_bumps[0].migration_id, 5u);
+  EXPECT_EQ(state->max_migration_id, 5u);
+}
+
+// Satellite acceptance: a crash mid-frame in the cluster journal must be
+// detected via CRC and classified like a truncated log tail — the valid
+// prefix survives, the torn record is dropped and counted.
+TEST_F(ClusterJournalTest, TruncatedJournalTailDetectedAndClassified) {
+  ClusterJournal journal(&lower_);
+  uint64_t batch = journal.AppendReplBatch(1, SampleEntries());
+  journal.AppendReplApplied(batch);
+  journal.AppendMigrateBegin(9, core::ShardSpace(0), 0, 1);
+
+  // The crash tears the last frame mid-payload.
+  auto image = lower_.ReadFileRaw(journal.path());
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(lower_
+                  .WriteFileRaw(journal.path(),
+                                std::string_view(*image).substr(
+                                    0, image->size() - 5))
+                  .ok());
+
+  auto scan = lasagna::ScanJournal(&lower_, journal.path());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->truncated);
+  EXPECT_EQ(scan->records_scanned, 2u);  // the torn MIGRATE_BEGIN is gone
+
+  auto state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->truncated);
+  ASSERT_EQ(state->batches.size(), 1u);
+  EXPECT_TRUE(state->batches[0].applied);
+  EXPECT_TRUE(state->migrations.empty());
+}
+
+TEST_F(ClusterJournalTest, CheckpointKeepsEpochHistoryAndPendingWork) {
+  ClusterJournal journal(&lower_);
+  uint64_t applied = journal.AppendReplBatch(1, SampleEntries());
+  journal.AppendReplApplied(applied);
+  uint64_t pending = journal.AppendReplBatch(2, SampleEntries());
+  core::PnodeRange range = core::ShardSpace(0);
+  journal.AppendMigrateBegin(1, range, 0, 1);
+  journal.AppendEpochBump(1, 1, range, 1);
+  journal.AppendMigrateCopied(1);
+  journal.AppendMigrateCommit(1);
+  journal.AppendMigrateBegin(2, range, 1, 2);
+
+  ASSERT_TRUE(journal.Checkpoint().ok());
+  auto state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  // Applied batch and committed migration are gone; the epoch history, the
+  // pending batch, and the in-flight migration survive.
+  ASSERT_EQ(state->batches.size(), 1u);
+  EXPECT_EQ(state->batches[0].id, pending);
+  EXPECT_FALSE(state->batches[0].applied);
+  ASSERT_EQ(state->migrations.size(), 1u);
+  EXPECT_EQ(state->migrations[0].id, 2u);
+  EXPECT_FALSE(state->migrations[0].committed);
+  ASSERT_EQ(state->epoch_bumps.size(), 1u);
+  EXPECT_EQ(state->epoch_bumps[0].epoch, 1u);
+
+  // New batch ids keep rising after a checkpoint.
+  EXPECT_GT(journal.AppendReplBatch(1, SampleEntries()), pending);
+}
+
+// ---- Crash-consistency acceptance sweeps ------------------------------------
+
+constexpr int kShards = 3;
+
+ClusterOptions CrashClusterOptions() {
+  ClusterOptions options;
+  options.shards = kShards;
+  options.ingest_batch_records = 4;  // several batches per sync
+  return options;
+}
+
+// Cross-shard lineage between shards 0 and 1 only; shard 2 stays cold so a
+// migration to it moves rows nothing was ever replicated to.
+void RunChainWorkload(ClusterCoordinator* cluster, int files) {
+  std::vector<core::ObjectRef> refs;
+  for (int i = 0; i < files; ++i) {
+    int shard = i % 2;
+    std::vector<core::ObjectRef> sources;
+    if (i > 0) {
+      sources.push_back(refs.back());
+    }
+    auto ref = cluster->WriteWithLineage(shard, "/f" + std::to_string(i),
+                                         "payload-" + std::to_string(i),
+                                         sources);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    refs.push_back(*ref);
+  }
+}
+
+std::multiset<std::string> RunQuery(pql::GraphSource* source,
+                                    const std::string& query) {
+  pql::Engine engine(source);
+  auto result = engine.Run(query);
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  std::multiset<std::string> out;
+  if (!result.ok()) {
+    return out;
+  }
+  for (const auto& row : result->rows) {
+    std::string line;
+    for (const pql::Value& value : row) {
+      line += value.ToString();
+      line += '|';
+    }
+    out.insert(line);
+  }
+  return out;
+}
+
+void ExpectFederatedMatchesMerged(ClusterCoordinator* cluster,
+                                  const std::string& context) {
+  waldo::ProvDb merged;
+  cluster->MergeInto(&merged);
+  pql::ProvDbSource merged_source(&merged);
+  FederatedSource federated = cluster->Source(/*portal_shard=*/0);
+  const char* const kQueries[] = {
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"/f7\"",
+      "select D from Provenance.file as F F.~input* as D "
+      "where F.name = \"/f0\"",
+      "select F.name from Provenance.file as F",
+  };
+  for (const char* query : kQueries) {
+    auto want = RunQuery(&merged_source, query);
+    auto got = RunQuery(&federated, query);
+    EXPECT_EQ(got, want) << context << ": " << query;
+    EXPECT_FALSE(want.empty()) << context << ": " << query;
+  }
+}
+
+// Crash points a clean Sync() passes on this workload. Deterministic: the
+// sweep below replays the identical cluster for each index.
+uint64_t CountSyncCrashPoints(int files) {
+  ClusterCoordinator cluster(CrashClusterOptions());
+  RunChainWorkload(&cluster, files);
+  uint64_t before = cluster.env().crash_points_passed();
+  EXPECT_TRUE(cluster.Sync().ok());
+  return cluster.env().crash_points_passed() - before;
+}
+
+// Acceptance: crash mid-Sync at every injected point; recovery must restore
+// federated == merged and leave a consistent epoch.
+TEST(JournalCrashTest, SyncCrashAtEveryPointRecovers) {
+  constexpr int kFiles = 8;
+  uint64_t points = CountSyncCrashPoints(kFiles);
+  ASSERT_GT(points, 4u);  // rotation, journal, send, apply, removal sites
+
+  for (uint64_t point = 0; point < points; ++point) {
+    ClusterCoordinator cluster(CrashClusterOptions());
+    RunChainWorkload(&cluster, kFiles);
+    cluster.env().CrashAfterOps(point);
+    Status crashed = cluster.Sync();
+    EXPECT_FALSE(crashed.ok()) << "point " << point;
+    EXPECT_TRUE(cluster.env().crashed());
+
+    auto recovery = cluster.Recover();
+    ASSERT_TRUE(recovery.ok())
+        << "point " << point << ": " << recovery.status().ToString();
+    EXPECT_FALSE(cluster.env().crashed());
+    EXPECT_EQ(recovery->shard_map_epoch, cluster.shard_map().epoch());
+    ExpectFederatedMatchesMerged(
+        &cluster, "sync crash at point " + std::to_string(point));
+
+    // Recovery converged: a second pass finds nothing left to repair.
+    auto again = cluster.Recover();
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->batches_redelivered, 0u) << "point " << point;
+    EXPECT_EQ(again->log_entries_resynced, 0u) << "point " << point;
+
+    // The repaired cluster keeps working: more writes, another sync.
+    auto extra = cluster.WriteWithLineage(0, "/post-crash", "x", {});
+    ASSERT_TRUE(extra.ok());
+    ASSERT_TRUE(cluster.Sync().ok());
+  }
+}
+
+// Crash points a clean MigrateRange passes after the same workload + sync.
+uint64_t CountMigrationCrashPoints(int files, core::PnodeRange* range_out) {
+  ClusterCoordinator cluster(CrashClusterOptions());
+  RunChainWorkload(&cluster, files);
+  EXPECT_TRUE(cluster.Sync().ok());
+  core::PnodeRange range{core::ShardSpace(0).begin,
+                         cluster.machine(0).allocator().peek_next()};
+  *range_out = range;
+  uint64_t before = cluster.env().crash_points_passed();
+  auto report = cluster.MigrateRange(range, 2);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return cluster.env().crash_points_passed() - before;
+}
+
+// Acceptance: crash between every pair of MigrateRange phases; after
+// recovery the range's rows live on exactly one shard, the ShardMap epoch
+// matches the journaled history, and federated queries equal the merged
+// single-database view.
+TEST(JournalCrashTest, MigrationCrashBetweenEveryPhaseRecovers) {
+  constexpr int kFiles = 8;
+  core::PnodeRange range{};
+  uint64_t points = CountMigrationCrashPoints(kFiles, &range);
+  ASSERT_GT(points, 4u);  // begin/bump/copy/copied/delete/commit sites
+
+  for (uint64_t point = 0; point < points; ++point) {
+    ClusterCoordinator cluster(CrashClusterOptions());
+    RunChainWorkload(&cluster, kFiles);
+    ASSERT_TRUE(cluster.Sync().ok());
+    uint64_t epoch_before = cluster.shard_map().epoch();
+
+    cluster.env().CrashAfterOps(point);
+    auto crashed = cluster.MigrateRange(range, 2);
+    EXPECT_FALSE(crashed.ok()) << "point " << point;
+
+    auto recovery = cluster.Recover();
+    ASSERT_TRUE(recovery.ok())
+        << "point " << point << ": " << recovery.status().ToString();
+    std::string context = "migration crash at point " + std::to_string(point);
+
+    // The outcome is all-or-nothing: either the migration rolled forward
+    // (epoch bumped, destination owns the range, source rows deleted) or it
+    // aborted (nothing changed). Never rows on both shards.
+    uint64_t rows_on_source =
+        cluster.shard_db(0).RowsInRange(range.begin, range.end);
+    uint64_t rows_on_destination =
+        cluster.shard_db(2).RowsInRange(range.begin, range.end);
+    int owner = cluster.shard_map().OwnerOfRange(range);
+    EXPECT_TRUE(rows_on_source == 0 || rows_on_destination == 0) << context;
+    EXPECT_GT(rows_on_source + rows_on_destination, 0u) << context;
+    if (recovery->migrations_rolled_forward > 0) {
+      EXPECT_EQ(owner, 2) << context;
+      EXPECT_EQ(rows_on_source, 0u) << context;
+      EXPECT_EQ(cluster.shard_map().epoch(), epoch_before + 1) << context;
+    } else {
+      // Aborted before the bump became durable (or before any record did):
+      // the migration left no trace in the routed state.
+      EXPECT_EQ(owner, 0) << context;
+      EXPECT_EQ(rows_on_destination, 0u) << context;
+      EXPECT_EQ(cluster.shard_map().epoch(), epoch_before) << context;
+    }
+    EXPECT_EQ(recovery->shard_map_epoch, cluster.shard_map().epoch())
+        << context;
+    ExpectFederatedMatchesMerged(&cluster, context);
+
+    // Recovery converged: a second pass finds nothing left to repair (the
+    // checkpoint dropped applied batches and closed aborted migrations).
+    auto again = cluster.Recover();
+    ASSERT_TRUE(again.ok()) << context;
+    EXPECT_EQ(again->batches_redelivered, 0u) << context;
+    EXPECT_EQ(again->migrations_rolled_forward, 0u) << context;
+    EXPECT_EQ(again->migrations_aborted, 0u) << context;
+    EXPECT_EQ(again->shard_map_epoch, recovery->shard_map_epoch) << context;
+
+    // An aborted migration can simply be retried; a rolled-forward one is
+    // already in place and retrying is a no-op move to the same owner.
+    auto retry = cluster.MigrateRange(range, 2);
+    ASSERT_TRUE(retry.ok()) << context;
+    EXPECT_EQ(cluster.shard_map().OwnerOfRange(range), 2) << context;
+    ExpectFederatedMatchesMerged(&cluster, context + " after retry");
+  }
+}
+
+// A crash that tears the journal tail mid-frame composes with recovery: the
+// torn record is classified and dropped, everything durable replays.
+TEST(JournalCrashTest, RecoveryToleratesTornJournalTail) {
+  ClusterCoordinator cluster(CrashClusterOptions());
+  RunChainWorkload(&cluster, 8);
+  // Crash just after the first journaled batch (REPL_BATCH durable, never
+  // sent), then tear that journal's tail by a few bytes.
+  uint64_t points = 0;
+  {
+    ClusterCoordinator twin(CrashClusterOptions());
+    RunChainWorkload(&twin, 8);
+    uint64_t before = twin.env().crash_points_passed();
+    EXPECT_TRUE(twin.Sync().ok());
+    points = twin.env().crash_points_passed() - before;
+  }
+  cluster.env().CrashAfterOps(points / 2);
+  EXPECT_FALSE(cluster.Sync().ok());
+
+  for (int shard = 0; shard < kShards; ++shard) {
+    const std::string& path = cluster.journal(shard).path();
+    fs::MemFs& lower = cluster.machine(shard).basefs();
+    auto image = lower.ReadFileRaw(path);
+    if (image.ok() && image->size() > 4) {
+      ASSERT_TRUE(lower
+                      .WriteFileRaw(path, std::string_view(*image).substr(
+                                              0, image->size() - 3))
+                      .ok());
+    }
+  }
+  auto recovery = cluster.Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_GT(recovery->truncated_journals, 0u);
+  ExpectFederatedMatchesMerged(&cluster, "torn journal tail");
+}
+
+}  // namespace
+}  // namespace pass::cluster

@@ -329,5 +329,54 @@ TEST_F(LasagnaTest, CrashBetweenLogAndDataIsFlagged) {
   EXPECT_EQ(report->inconsistent_paths[0], "/a");
 }
 
+TEST_F(LasagnaTest, InconsistentPathReportedOnceAcrossFailingExtents) {
+  // Two complete data transactions for the same path at disjoint extents,
+  // neither of whose data ever reached the disk (a crafted worst-case log):
+  // both extents are verified and fail, but the path is reported once.
+  std::string log;
+  core::ObjectRef subject{5, 0};
+  auto append_txn = [&](uint64_t txn_id, uint64_t offset) {
+    EncodeLogEntry(&log, LogEntry{subject, core::Record::Of(
+                                               core::Attr::kBeginTxn,
+                                               static_cast<int64_t>(txn_id))});
+    EncodeLogEntry(&log, LogEntry{subject, core::Record::Name("/f")});
+    TxnDescriptor descriptor;
+    descriptor.txn_id = txn_id;
+    descriptor.data_md5 = Md5::Hash("lost");
+    descriptor.path = "/f";
+    descriptor.offset = offset;
+    descriptor.length = 4;
+    EncodeLogEntry(&log, LogEntry{subject, core::Record::Of(
+                                               core::Attr::kEndTxn,
+                                               EncodeTxnDescriptor(descriptor))});
+  };
+  append_txn(1, 0);
+  append_txn(2, 100);  // disjoint from [0, 4): stays independently verifiable
+  ASSERT_TRUE(lower_.SeedFile("/.pass/log.0", log).ok());
+
+  auto report = RunRecovery(&lower_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->complete_txns, 2u);
+  EXPECT_EQ(report->inconsistent_extents, 2u);
+  ASSERT_EQ(report->inconsistent_paths.size(), 1u);
+  EXPECT_EQ(report->inconsistent_paths[0], "/f");
+  // Neither failing transaction's provenance is recovered.
+  EXPECT_TRUE(report->recovered_entries.empty());
+}
+
+TEST_F(LasagnaTest, DisjointExtentsOfOnePathVerifyIndependently) {
+  // Two writes to different regions of one file: under ordered writes both
+  // data extents are durable, and recovery now verifies each on its own
+  // instead of assuming the earlier one consistent.
+  auto file = CreateFile("a");
+  ASSERT_TRUE(file->PassWrite(0, "headhead", core::Bundle()).ok());
+  ASSERT_TRUE(file->PassWrite(8, "tailtail", core::Bundle()).ok());
+  auto report = RunRecovery(&lower_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->consistent_extents, 2u);
+  EXPECT_EQ(report->inconsistent_extents, 0u);
+  EXPECT_TRUE(report->inconsistent_paths.empty());
+}
+
 }  // namespace
 }  // namespace pass::lasagna

@@ -199,10 +199,36 @@ TEST(EncodeTest, RoundTripScalars) {
   EXPECT_TRUE(in.done());
 }
 
+TEST(EncodeTest, VarintRoundTripAcrossWidths) {
+  const uint64_t values[] = {0,    1,    0x7f,  0x80,   0x3fff, 0x4000,
+                             1u << 20, 0xdeadbeef, ~0ull};
+  std::string buf;
+  for (uint64_t v : values) {
+    PutVarint(&buf, v);
+  }
+  EXPECT_EQ(buf.size(), 1 + 1 + 1 + 2 + 2 + 3 + 3 + 5 + 10u);
+  Decoder in(buf);
+  for (uint64_t v : values) {
+    EXPECT_EQ(*in.Varint(), v);
+  }
+  EXPECT_TRUE(in.done());
+}
+
+TEST(EncodeTest, TruncatedVarintIsCorrupt) {
+  std::string buf;
+  PutVarint(&buf, 0x4000);  // three bytes
+  std::string cut = buf.substr(0, 2);
+  Decoder in(cut);
+  auto v = in.Varint();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Code::kCorrupt);
+}
+
 TEST(EncodeTest, TruncationIsCorruptNotCrash) {
   std::string buf;
   PutBytes(&buf, "hello world");
-  Decoder in(buf.substr(0, 6));
+  std::string cut = buf.substr(0, 6);
+  Decoder in(cut);
   auto bytes = in.Bytes();
   ASSERT_FALSE(bytes.ok());
   EXPECT_EQ(bytes.status().code(), Code::kCorrupt);
