@@ -31,6 +31,10 @@ struct RunResult {
   uint64_t bytes_sent = 0;
   double sync_seconds = 0;
   uint64_t query_remote_ops = 0;
+  uint64_t query_req_bytes = 0;    // remote request bytes
+  uint64_t query_resp_bytes = 0;   // remote response bytes
+  uint64_t query_local_bytes = 0;  // bytes served on the portal, no network
+  uint64_t query_cache_hits = 0;
   size_t query_rows = 0;
   bool federated_matches_merged = false;
 };
@@ -100,6 +104,10 @@ RunResult Run(int shards, size_t batch_records) {
 
   out.query_rows = federated_result->rows.size();
   out.query_remote_ops = federated.stats().remote_ops;
+  out.query_req_bytes = federated.stats().remote_request_bytes;
+  out.query_resp_bytes = federated.stats().remote_response_bytes;
+  out.query_local_bytes = federated.stats().local_bytes;
+  out.query_cache_hits = federated.stats().cache_hits;
   out.federated_matches_merged =
       Rows(*federated_result) == Rows(*merged_result);
   return out;
@@ -112,34 +120,45 @@ int main() {
               "federated PQL\n");
   std::printf("(workload: %d-file lineage chain hopping shards round-robin)\n\n",
               kChainFiles);
-  std::printf("%6s %6s | %9s %10s %7s %9s %8s | %9s %6s %6s\n", "shards",
-              "batch", "recovered", "replicated", "RTTs", "net-bytes",
-              "sync-s", "query-RPC", "rows", "match");
+  std::printf("%6s %6s | %9s %10s %7s %9s %8s | %9s %9s %9s %6s %6s %6s\n",
+              "shards", "batch", "recovered", "replicated", "RTTs",
+              "net-bytes", "sync-s", "query-RPC", "q-remote", "q-local",
+              "hits", "rows", "match");
 
   // Machine-readable mirror of the table (one line per configuration).
   std::string csv =
       "csv,fig3,shards,batch,recovered,replicated,rtts,net_bytes,sync_s,"
-      "query_rpc,rows,match\n";
+      "query_rpc,query_req_bytes,query_resp_bytes,query_local_bytes,"
+      "cache_hits,rows,match\n";
   const int kShardCounts[] = {1, 2, 4, 8};
   const size_t kBatchSizes[] = {1, 16, 64, 256};
   for (int shards : kShardCounts) {
     for (size_t batch : kBatchSizes) {
       RunResult r = Run(shards, batch);
-      std::printf("%6d %6zu | %9llu %10llu %7llu %9llu %8.4f | %9llu %6zu %6s\n",
+      std::printf("%6d %6zu | %9llu %10llu %7llu %9llu %8.4f | %9llu %9llu "
+                  "%9llu %6llu %6zu %6s\n",
                   shards, batch, (unsigned long long)r.recovered,
                   (unsigned long long)r.replicated,
                   (unsigned long long)r.round_trips,
                   (unsigned long long)r.bytes_sent, r.sync_seconds,
-                  (unsigned long long)r.query_remote_ops, r.query_rows,
+                  (unsigned long long)r.query_remote_ops,
+                  (unsigned long long)(r.query_req_bytes + r.query_resp_bytes),
+                  (unsigned long long)r.query_local_bytes,
+                  (unsigned long long)r.query_cache_hits, r.query_rows,
                   r.federated_matches_merged ? "yes" : "NO");
-      char line[256];
+      char line[320];
       std::snprintf(line, sizeof(line),
-                    "csv,fig3,%d,%zu,%llu,%llu,%llu,%llu,%.4f,%llu,%zu,%s\n",
+                    "csv,fig3,%d,%zu,%llu,%llu,%llu,%llu,%.4f,%llu,%llu,%llu,"
+                    "%llu,%llu,%zu,%s\n",
                     shards, batch, (unsigned long long)r.recovered,
                     (unsigned long long)r.replicated,
                     (unsigned long long)r.round_trips,
                     (unsigned long long)r.bytes_sent, r.sync_seconds,
-                    (unsigned long long)r.query_remote_ops, r.query_rows,
+                    (unsigned long long)r.query_remote_ops,
+                    (unsigned long long)r.query_req_bytes,
+                    (unsigned long long)r.query_resp_bytes,
+                    (unsigned long long)r.query_local_bytes,
+                    (unsigned long long)r.query_cache_hits, r.query_rows,
                     r.federated_matches_merged ? "yes" : "no");
       csv += line;
       PASS_CHECK(r.federated_matches_merged);
@@ -153,6 +172,9 @@ int main() {
   std::printf("Batching amortizes the per-round-trip latency: at equal\n"
               "replicated record counts, RTTs drop ~batch-fold and sync time\n"
               "falls with them, while every federated ancestry query still\n"
-              "matches the merged single-database result.\n");
+              "matches the merged single-database result. The query-RPC\n"
+              "column counts frontier-shipped RPCs (one per shard per hop)\n"
+              "after the portal result cache; bench/fig6_query_cache sweeps\n"
+              "that cache explicitly.\n");
   return 0;
 }

@@ -417,13 +417,15 @@ std::vector<ShardSize> ClusterCoordinator::shard_sizes() const {
   return out;
 }
 
-FederatedSource ClusterCoordinator::Source(int portal_shard) {
+FederatedSource ClusterCoordinator::Source(int portal_shard,
+                                           size_t cache_bytes) {
   std::vector<const waldo::ProvDb*> dbs;
   dbs.reserve(machines_.size());
   for (const auto& m : machines_) {
     dbs.push_back(m->db());
   }
-  return FederatedSource(std::move(dbs), &net_, &shard_map_, portal_shard);
+  return FederatedSource(std::move(dbs), &net_, &shard_map_, portal_shard,
+                         cache_bytes);
 }
 
 void ClusterCoordinator::MergeInto(waldo::ProvDb* out) const {

@@ -174,8 +174,12 @@ class ClusterCoordinator {
   std::vector<ShardSize> shard_sizes() const;
 
   // Federated query source with the portal on `portal_shard`, wired to the
-  // live ShardMap: sources created before a migration route correctly after.
-  FederatedSource Source(int portal_shard = 0);
+  // live ShardMap: sources created before a migration route correctly after
+  // (and its portal result cache self-invalidates on epoch bumps or shard
+  // mutations). `cache_bytes` bounds that cache; 0 disables it.
+  FederatedSource Source(
+      int portal_shard = 0,
+      size_t cache_bytes = FederatedSource::kDefaultCacheBytes);
 
   // Replay every shard's (ShardMap-owned) entries into `out`: the database
   // a single un-sharded machine would have built. For equivalence checks.

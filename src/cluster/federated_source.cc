@@ -1,7 +1,6 @@
 #include "src/cluster/federated_source.h"
 
 #include <cctype>
-#include <map>
 
 #include "src/core/object.h"
 #include "src/pql/provdb_source.h"
@@ -10,9 +9,12 @@
 namespace pass::cluster {
 namespace {
 
-// Nominal RPC sizes: a routed lookup ships one object ref plus an op code;
-// responses carry ~16 bytes per result row.
-constexpr uint64_t kLookupRequestBytes = 48;
+// Nominal RPC sizes. A batched lookup ships one header plus one object ref
+// per frontier node; responses carry ~16 bytes per result row (edge or
+// value) plus a per-node count. Single-node exchanges degenerate to the
+// header plus one ref.
+constexpr uint64_t kRpcHeaderBytes = 48;
+constexpr uint64_t kPerNodeRequestBytes = 16;
 constexpr uint64_t kPerRowResponseBytes = 16;
 
 std::string Lower(std::string s) {
@@ -22,7 +24,34 @@ std::string Lower(std::string s) {
   return s;
 }
 
+// Wire size of one attribute value (strings dominate).
+uint64_t ValueBytes(const pql::Value& value) {
+  return kPerRowResponseBytes +
+         (value.is_string() ? value.AsString().size() : 0);
+}
+
+uint64_t ValueSetBytes(const pql::ValueSet& values) {
+  uint64_t bytes = 0;
+  for (const pql::Value& value : values) {
+    bytes += ValueBytes(value);
+  }
+  return bytes;
+}
+
 }  // namespace
+
+void FederatedSource::ChargeExchange(int shard, uint64_t request_bytes,
+                                     uint64_t response_bytes) const {
+  if (shard == portal_shard_) {
+    ++stats_.local_ops;
+    stats_.local_bytes += request_bytes + response_bytes;
+  } else {
+    ++stats_.remote_ops;
+    stats_.remote_request_bytes += request_bytes;
+    stats_.remote_response_bytes += response_bytes;
+    net_->RoundTrip(request_bytes, response_bytes);
+  }
+}
 
 const waldo::ProvDb* FederatedSource::Route(core::PnodeId pnode,
                                             uint64_t request_bytes,
@@ -31,12 +60,7 @@ const waldo::ProvDb* FederatedSource::Route(core::PnodeId pnode,
   if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
     return nullptr;
   }
-  if (shard == portal_shard_) {
-    ++stats_.local_ops;
-  } else {
-    ++stats_.remote_ops;
-    net_->RoundTrip(request_bytes, response_bytes);
-  }
+  ChargeExchange(shard, request_bytes, response_bytes);
   return shards_[shard];
 }
 
@@ -44,6 +68,66 @@ pql::Node FederatedSource::Latest(const waldo::ProvDb& db,
                                   core::PnodeId pnode) const {
   return pql::Node{pnode, db.LatestVersionOf(pnode)};
 }
+
+// ---- Portal result cache ----------------------------------------------------
+
+void FederatedSource::ValidateCache() const {
+  uint64_t mutations = 0;
+  for (const waldo::ProvDb* db : shards_) {
+    mutations += db->mutation_count();
+  }
+  uint64_t epoch = map_->epoch();
+  if (epoch != cache_epoch_ || mutations != cache_mutations_) {
+    if (cache_filled_) {
+      ++stats_.cache_invalidations;
+    }
+    cache_.clear();
+    lru_.clear();
+    cache_bytes_ = 0;
+    cache_filled_ = false;
+    cache_epoch_ = epoch;
+    cache_mutations_ = mutations;
+  }
+}
+
+const FederatedSource::CacheEntry* FederatedSource::CacheLookup(
+    const CacheKey& key) const {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  ++stats_.cache_hits;
+  return &it->second;
+}
+
+void FederatedSource::CacheInsert(CacheKey key, CacheEntry entry) const {
+  entry.bytes = kPerNodeRequestBytes + key.attr.size() +
+                kPerRowResponseBytes * entry.nodes.size() +
+                ValueSetBytes(entry.values);
+  if (entry.bytes > cache_capacity_) {
+    return;  // would evict everything else without ever fitting
+  }
+  auto [it, inserted] = cache_.try_emplace(key);
+  if (!inserted) {  // same node fetched twice in one frontier
+    cache_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru);
+  }
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  cache_bytes_ += entry.bytes;
+  it->second = std::move(entry);
+  cache_filled_ = true;
+  while (cache_bytes_ > cache_capacity_) {
+    auto victim = cache_.find(lru_.back());
+    cache_bytes_ -= victim->second.bytes;
+    cache_.erase(victim);
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+// ---- GraphSource surface ----------------------------------------------------
 
 std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
   // Scatter-gather: ask every shard for its locally owned members of the
@@ -66,12 +150,8 @@ std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
       gathered.emplace(pnode, Latest(*db, pnode));
       ++rows;
     }
-    if (static_cast<int>(shard) == portal_shard_) {
-      ++stats_.local_ops;
-    } else {
-      ++stats_.remote_ops;
-      net_->RoundTrip(kLookupRequestBytes, kPerRowResponseBytes * (rows + 1));
-    }
+    ChargeExchange(static_cast<int>(shard), kRpcHeaderBytes,
+                   kPerRowResponseBytes * (rows + 1));
   }
   std::vector<pql::Node> out;
   out.reserve(gathered.size());
@@ -81,47 +161,128 @@ std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
   return out;
 }
 
+std::vector<pql::ValueSet> FederatedSource::AttributeMany(
+    const std::vector<pql::Node>& nodes, const std::string& attr) const {
+  std::vector<pql::ValueSet> out(nodes.size());
+  std::string want = Lower(attr);
+  ValidateCache();
+  // Virtual and portal-local attributes answer immediately; cached remote
+  // ones fill from the cache; the rest group by owning shard.
+  std::map<int, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (want == "pnode") {
+      out[i].push_back(pql::Value(static_cast<int64_t>(nodes[i].pnode)));
+      continue;
+    }
+    if (want == "version") {
+      out[i].push_back(pql::Value(static_cast<int64_t>(nodes[i].version)));
+      continue;
+    }
+    int shard = map_->OwnerOf(nodes[i].pnode);
+    if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+      continue;  // no owner: empty attribute set
+    }
+    if (const CacheEntry* entry = CacheLookup(
+            CacheKey{nodes[i].pnode, 0, false, want})) {
+      out[i] = entry->values;
+      continue;
+    }
+    by_shard[shard].push_back(i);
+  }
+  for (const auto& [shard, indexes] : by_shard) {
+    const waldo::ProvDb* db = shards_[shard];
+    std::vector<core::PnodeId> pnodes;
+    pnodes.reserve(indexes.size());
+    for (size_t i : indexes) {
+      pnodes.push_back(nodes[i].pnode);
+    }
+    // One bulk RPC per shard: the owner filters to the requested attribute
+    // and returns one value set per node.
+    auto records = db->RecordsOfAllVersionsMany(pnodes);
+    uint64_t response_bytes = kPerRowResponseBytes * indexes.size();
+    for (size_t j = 0; j < indexes.size(); ++j) {
+      pql::ValueSet values;
+      for (const core::Record& record : records[j]) {
+        if (Lower(pql::AttrQueryName(record)) == want) {
+          values.push_back(pql::Value::FromRecordValue(record.value));
+        }
+      }
+      pql::Normalize(&values);
+      response_bytes += ValueSetBytes(values);
+      if (shard != portal_shard_) {
+        ++stats_.cache_misses;
+        CacheInsert(CacheKey{pnodes[j], 0, false, want},
+                    CacheEntry{{}, values, 0, {}});
+      }
+      out[indexes[j]] = std::move(values);
+    }
+    ChargeExchange(shard,
+                   kRpcHeaderBytes + kPerNodeRequestBytes * indexes.size(),
+                   response_bytes);
+  }
+  return out;
+}
+
 pql::ValueSet FederatedSource::Attribute(const pql::Node& node,
                                          const std::string& attr) const {
-  pql::ValueSet out;
-  std::string want = Lower(attr);
-  if (want == "pnode") {
-    out.push_back(pql::Value(static_cast<int64_t>(node.pnode)));
+  return AttributeMany({node}, attr)[0];
+}
+
+std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
+    const std::vector<pql::Node>& nodes, const std::string& link,
+    bool inverse) const {
+  std::vector<std::vector<pql::Node>> out(nodes.size());
+  if (link != "input") {
     return out;
   }
-  if (want == "version") {
-    out.push_back(pql::Value(static_cast<int64_t>(node.version)));
-    return out;
-  }
-  const waldo::ProvDb* db =
-      Route(node.pnode, kLookupRequestBytes, 8 * kPerRowResponseBytes);
-  if (db == nullptr) {
-    return out;
-  }
-  for (const core::Record& record : db->RecordsOfAllVersions(node.pnode)) {
-    if (Lower(pql::AttrQueryName(record)) == want) {
-      out.push_back(pql::Value::FromRecordValue(record.value));
+  ValidateCache();
+  // Forward edges live with the subject's owner; reverse edges live with
+  // the ancestor's owner (the ingest queue replicated them there). Either
+  // way the node's own shard has the answer, so the frontier partitions
+  // cleanly by owner: one RPC per shard per hop.
+  std::map<int, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int shard = map_->OwnerOf(nodes[i].pnode);
+    if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+      continue;  // no owner: no edges
     }
+    if (const CacheEntry* entry = CacheLookup(
+            CacheKey{nodes[i].pnode, nodes[i].version, inverse, ""})) {
+      out[i] = entry->nodes;
+      continue;
+    }
+    by_shard[shard].push_back(i);
   }
-  pql::Normalize(&out);
+  for (const auto& [shard, indexes] : by_shard) {
+    const waldo::ProvDb* db = shards_[shard];
+    std::vector<core::ObjectRef> refs;
+    refs.reserve(indexes.size());
+    for (size_t i : indexes) {
+      refs.push_back(nodes[i]);
+    }
+    auto results = inverse ? db->OutputsMany(refs) : db->InputsMany(refs);
+    uint64_t rows = 0;
+    for (size_t j = 0; j < indexes.size(); ++j) {
+      rows += results[j].size();
+      if (shard != portal_shard_) {
+        ++stats_.cache_misses;
+        CacheInsert(
+            CacheKey{refs[j].pnode, refs[j].version, inverse, ""},
+            CacheEntry{results[j], {}, 0, {}});
+      }
+      out[indexes[j]] = std::move(results[j]);
+    }
+    ChargeExchange(shard,
+                   kRpcHeaderBytes + kPerNodeRequestBytes * indexes.size(),
+                   kPerRowResponseBytes * (rows + indexes.size()));
+  }
   return out;
 }
 
 std::vector<pql::Node> FederatedSource::Follow(const pql::Node& node,
                                                const std::string& link,
                                                bool inverse) const {
-  if (link != "input") {
-    return {};
-  }
-  // Forward edges live with the subject's owner; reverse edges live with
-  // the ancestor's owner (the ingest queue replicated them there). Either
-  // way the node's own shard has the answer.
-  const waldo::ProvDb* db =
-      Route(node.pnode, kLookupRequestBytes, 8 * kPerRowResponseBytes);
-  if (db == nullptr) {
-    return {};
-  }
-  return inverse ? db->Outputs(node) : db->Inputs(node);
+  return FollowMany({node}, link, inverse)[0];
 }
 
 bool FederatedSource::IsLink(const std::string& name) const {
@@ -132,7 +293,7 @@ std::string FederatedSource::NodeLabel(const pql::Node& node) const {
   // One routed lookup: the owner answers name and (fallback) type in the
   // same RPC, so an unnamed remote node does not cost a second round trip.
   const waldo::ProvDb* db =
-      Route(node.pnode, kLookupRequestBytes, 4 * kPerRowResponseBytes);
+      Route(node.pnode, kRpcHeaderBytes, 4 * kPerRowResponseBytes);
   std::string name = db == nullptr ? std::string() : db->NameOf(node.pnode);
   if (name.empty() && db != nullptr) {
     for (const core::Record& record : db->RecordsOfAllVersions(node.pnode)) {

@@ -6,10 +6,24 @@
 // The query portal runs on one shard. Every graph operation is routed to
 // the shard owning the pnode it touches, resolved through the borrowed
 // *live* ShardMap — so a source created before a range migration keeps
-// routing correctly after it. Operations against a remote shard charge one
-// sim::Network round trip, so PQL queries spanning shards accumulate
+// routing correctly after it. Operations against a remote shard charge
+// sim::Network round trips, so PQL queries spanning shards accumulate
 // realistic network cost. Root-set construction is a scatter-gather over
 // every shard.
+//
+// Two mechanisms keep a closure query from paying one round trip per node:
+//
+//   * Frontier shipping: the evaluator traverses level-synchronously and
+//     hands whole frontiers to FollowMany/AttributeMany; the portal groups
+//     each frontier by owning shard and ships ONE RPC per shard per hop,
+//     answered by ProvDb's bulk lookups.
+//
+//   * A portal result cache: a byte-bounded LRU over per-node edge lists
+//     and attribute sets, so overlapping traversals fetch each node once.
+//     Every cache operation first validates a fingerprint of the ShardMap
+//     epoch and the shards' ProvDb::mutation_count() sum; a migration or
+//     rebalance (epoch bump) or any ingest invalidates the whole cache, so
+//     stale ownership or data is never served.
 //
 // Provided the cross-shard ingest queue has replicated foreign-subject
 // records and foreign-ancestor edges (see src/cluster/ingest.h), a query
@@ -17,6 +31,8 @@
 // every shard's entries.
 
 #include <cstdint>
+#include <list>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -28,42 +44,108 @@
 namespace pass::cluster {
 
 struct FederatedStats {
-  uint64_t local_ops = 0;   // served by the portal shard
-  uint64_t remote_ops = 0;  // routed over the network (one RTT each)
+  uint64_t local_ops = 0;   // lookups served by the portal shard
+  uint64_t remote_ops = 0;  // RPCs sent over the network (one RTT each)
+  // Byte accounting, local vs remote: remote bytes are what Route() charges
+  // the network; local bytes are the same payloads served portal-side for
+  // free (no RTT, no wire time).
+  uint64_t remote_request_bytes = 0;
+  uint64_t remote_response_bytes = 0;
+  uint64_t local_bytes = 0;
+  // Portal result cache counters. A "hit" answers one node's lookup with no
+  // shard traffic at all.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;  // whole-cache clears (epoch/mutation)
 };
 
 class FederatedSource : public pql::GraphSource {
  public:
+  static constexpr size_t kDefaultCacheBytes = 1u << 20;
+
+  // `cache_bytes` bounds the portal result cache (0 disables caching).
   FederatedSource(std::vector<const waldo::ProvDb*> shards, sim::Network* net,
-                  const ShardMap* map, int portal_shard = 0)
+                  const ShardMap* map, int portal_shard = 0,
+                  size_t cache_bytes = kDefaultCacheBytes)
       : shards_(std::move(shards)),
         net_(net),
         map_(map),
-        portal_shard_(portal_shard) {}
+        portal_shard_(portal_shard),
+        cache_capacity_(cache_bytes) {}
+
+  // Movable but not copyable: cache entries hold iterators into lru_, which
+  // survive a move (std::list/map moves preserve them) but would alias the
+  // original's list in a copy.
+  FederatedSource(FederatedSource&&) = default;
+  FederatedSource& operator=(FederatedSource&&) = default;
+  FederatedSource(const FederatedSource&) = delete;
+  FederatedSource& operator=(const FederatedSource&) = delete;
 
   std::vector<pql::Node> RootSet(const std::string& name) const override;
   pql::ValueSet Attribute(const pql::Node& node,
                           const std::string& attr) const override;
   std::vector<pql::Node> Follow(const pql::Node& node, const std::string& link,
                                 bool inverse) const override;
+  std::vector<std::vector<pql::Node>> FollowMany(
+      const std::vector<pql::Node>& nodes, const std::string& link,
+      bool inverse) const override;
+  std::vector<pql::ValueSet> AttributeMany(
+      const std::vector<pql::Node>& nodes,
+      const std::string& attr) const override;
   bool IsLink(const std::string& name) const override;
   std::string NodeLabel(const pql::Node& node) const override;
 
   const FederatedStats& stats() const { return stats_; }
+  size_t cache_bytes_used() const { return cache_bytes_; }
+  size_t cache_capacity() const { return cache_capacity_; }
 
  private:
+  // One cached lookup result: the edge list of (pnode, version, direction)
+  // or the attribute set of (pnode, attr).
+  struct CacheKey {
+    core::PnodeId pnode = 0;
+    core::Version version = 0;  // 0 for attribute entries (object-level)
+    bool inverse = false;
+    std::string attr;  // empty for edge entries
+    auto operator<=>(const CacheKey&) const = default;
+  };
+  struct CacheEntry {
+    std::vector<pql::Node> nodes;
+    pql::ValueSet values;
+    uint64_t bytes = 0;
+    std::list<CacheKey>::iterator lru;
+  };
+
   // Database owning `pnode` per the ShardMap, charging a round trip when
   // remote; null when the pnode maps to no cluster member.
   const waldo::ProvDb* Route(core::PnodeId pnode, uint64_t request_bytes,
                              uint64_t response_bytes) const;
+  // Account one request/response exchange with `shard` (network-charged
+  // when remote, free when it is the portal).
+  void ChargeExchange(int shard, uint64_t request_bytes,
+                      uint64_t response_bytes) const;
   // Latest version node of `pnode` in its owner's database.
   pql::Node Latest(const waldo::ProvDb& db, core::PnodeId pnode) const;
+
+  // Drop the whole cache when the ShardMap epoch or any shard's database
+  // changed since it was filled; cheap no-op otherwise.
+  void ValidateCache() const;
+  const CacheEntry* CacheLookup(const CacheKey& key) const;
+  void CacheInsert(CacheKey key, CacheEntry entry) const;
 
   std::vector<const waldo::ProvDb*> shards_;
   sim::Network* net_;
   const ShardMap* map_;
   int portal_shard_;
+  size_t cache_capacity_;
   mutable FederatedStats stats_;
+  mutable std::map<CacheKey, CacheEntry> cache_;
+  mutable std::list<CacheKey> lru_;  // front = most recently used
+  mutable size_t cache_bytes_ = 0;
+  mutable uint64_t cache_epoch_ = 0;
+  mutable uint64_t cache_mutations_ = 0;
+  mutable bool cache_filled_ = false;
 };
 
 }  // namespace pass::cluster

@@ -31,7 +31,10 @@ class ShardMap {
 
   int shard_count() const { return shards_; }
 
-  // Bumped on every successful Assign.
+  // Bumped on every successful Assign. Long-lived routing clients key their
+  // validity off this: the FederatedSource portal cache fingerprints the
+  // epoch and drops every cached result when it moves, so MigrateRange /
+  // Rebalance can never leave stale ownership in a query path.
   uint64_t epoch() const { return epoch_; }
 
   // Shard owning `pnode`: an override range if one covers it, the allocator

@@ -1,7 +1,6 @@
 #include "src/pql/eval.h"
 
 #include <algorithm>
-#include <deque>
 #include <set>
 
 #include "src/pql/parser.h"
@@ -73,25 +72,27 @@ bool Evaluator::Compare(const Value& a, const Value& b, BinOp op) {
 
 Result<std::vector<Node>> Evaluator::ExpandStep(const std::vector<Node>& from,
                                                 const PathStep& step) {
+  // Every expansion hands the source whole frontiers (FollowMany), never
+  // single nodes: a federated source ships one RPC per shard per hop.
   std::vector<Node> out;
   switch (step.closure) {
     case Closure::kOne:
-      for (const Node& node : from) {
-        auto next = source_->Follow(node, step.name, step.inverse);
+    case Closure::kOptional: {
+      if (step.closure == Closure::kOptional) {
+        out = from;
+      }
+      for (const auto& next : source_->FollowMany(from, step.name,
+                                                  step.inverse)) {
         out.insert(out.end(), next.begin(), next.end());
       }
       break;
-    case Closure::kOptional:
-      out = from;
-      for (const Node& node : from) {
-        auto next = source_->Follow(node, step.name, step.inverse);
-        out.insert(out.end(), next.begin(), next.end());
-      }
-      break;
+    }
     case Closure::kStar:
     case Closure::kPlus: {
+      // Level-synchronous BFS: each iteration expands the whole frontier in
+      // one batched call.
       std::set<Node> seen;
-      std::deque<Node> frontier(from.begin(), from.end());
+      std::set<Node> visited(from.begin(), from.end());
       if (step.closure == Closure::kStar) {
         for (const Node& node : from) {
           if (seen.insert(node).second) {
@@ -99,22 +100,24 @@ Result<std::vector<Node>> Evaluator::ExpandStep(const std::vector<Node>& from,
           }
         }
       }
-      std::set<Node> visited(from.begin(), from.end());
+      std::vector<Node> frontier(visited.begin(), visited.end());
       while (!frontier.empty()) {
-        Node node = frontier.front();
-        frontier.pop_front();
-        for (const Node& next : source_->Follow(node, step.name,
-                                                step.inverse)) {
-          if (seen.insert(next).second) {
-            out.push_back(next);
-            if (out.size() > limits_.max_closure_nodes) {
-              return Unavailable("closure expansion exceeds limit");
+        std::vector<Node> next_frontier;
+        for (const auto& nexts : source_->FollowMany(frontier, step.name,
+                                                     step.inverse)) {
+          for (const Node& next : nexts) {
+            if (seen.insert(next).second) {
+              out.push_back(next);
+              if (out.size() > limits_.max_closure_nodes) {
+                return Unavailable("closure expansion exceeds limit");
+              }
+            }
+            if (visited.insert(next).second) {
+              next_frontier.push_back(next);
             }
           }
-          if (visited.insert(next).second) {
-            frontier.push_back(next);
-          }
         }
+        frontier = std::move(next_frontier);
       }
       break;
     }
@@ -165,8 +168,7 @@ Result<ValueSet> Evaluator::PathValues(const PathExpr& path, const Env& env) {
     }
     return out;
   }
-  for (const Node& node : nodes) {
-    ValueSet values = source_->Attribute(node, attr);
+  for (const ValueSet& values : source_->AttributeMany(nodes, attr)) {
     out.insert(out.end(), values.begin(), values.end());
   }
   Normalize(&out);

@@ -30,6 +30,35 @@ class GraphSource {
   virtual std::vector<Node> Follow(const Node& node, const std::string& link,
                                    bool inverse) const = 0;
 
+  // ---- Batched frontier ops ------------------------------------------------
+  // The evaluator drives link traversal and attribute lookup through these
+  // one frontier at a time; results align positionally with `nodes`. The
+  // defaults delegate to the single-node calls, so plain sources need not
+  // care. Sources with per-call overhead override them to amortize it:
+  // cluster::FederatedSource groups a frontier by owning shard and ships one
+  // RPC per shard per hop instead of one per node.
+
+  virtual std::vector<std::vector<Node>> FollowMany(
+      const std::vector<Node>& nodes, const std::string& link,
+      bool inverse) const {
+    std::vector<std::vector<Node>> out;
+    out.reserve(nodes.size());
+    for (const Node& node : nodes) {
+      out.push_back(Follow(node, link, inverse));
+    }
+    return out;
+  }
+
+  virtual std::vector<ValueSet> AttributeMany(const std::vector<Node>& nodes,
+                                              const std::string& attr) const {
+    std::vector<ValueSet> out;
+    out.reserve(nodes.size());
+    for (const Node& node : nodes) {
+      out.push_back(Attribute(node, attr));
+    }
+    return out;
+  }
+
   // True if `name` is a link name rather than an attribute.
   virtual bool IsLink(const std::string& name) const = 0;
 

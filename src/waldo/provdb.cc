@@ -25,6 +25,7 @@ void ProvDb::Insert(const lasagna::LogEntry& entry) {
   const core::ObjectRef& subject = entry.subject;
   const core::Record& record = entry.record;
 
+  ++mutation_count_;
   versions_[subject.pnode].insert(subject.version);
 
   if (record.attr == core::Attr::kInput) {
@@ -89,6 +90,36 @@ std::vector<core::ObjectRef> ProvDb::Outputs(
     const core::ObjectRef& ref) const {
   auto it = outputs_.find(ref);
   return it == outputs_.end() ? std::vector<core::ObjectRef>() : it->second;
+}
+
+std::vector<std::vector<core::ObjectRef>> ProvDb::InputsMany(
+    const std::vector<core::ObjectRef>& refs) const {
+  std::vector<std::vector<core::ObjectRef>> out;
+  out.reserve(refs.size());
+  for (const core::ObjectRef& ref : refs) {
+    out.push_back(Inputs(ref));
+  }
+  return out;
+}
+
+std::vector<std::vector<core::ObjectRef>> ProvDb::OutputsMany(
+    const std::vector<core::ObjectRef>& refs) const {
+  std::vector<std::vector<core::ObjectRef>> out;
+  out.reserve(refs.size());
+  for (const core::ObjectRef& ref : refs) {
+    out.push_back(Outputs(ref));
+  }
+  return out;
+}
+
+std::vector<std::vector<core::Record>> ProvDb::RecordsOfAllVersionsMany(
+    const std::vector<core::PnodeId>& pnodes) const {
+  std::vector<std::vector<core::Record>> out;
+  out.reserve(pnodes.size());
+  for (core::PnodeId pnode : pnodes) {
+    out.push_back(RecordsOfAllVersions(pnode));
+  }
+  return out;
 }
 
 std::vector<core::Version> ProvDb::VersionsOf(core::PnodeId pnode) const {
@@ -169,6 +200,7 @@ bool ProvDb::InsertUnique(const lasagna::LogEntry& entry) {
     if (have_forward && have_reverse) {
       return false;
     }
+    ++mutation_count_;
     versions_[subject.pnode].insert(subject.version);
     versions_[ancestor->pnode].insert(ancestor->version);
     if (!have_forward) {
@@ -300,6 +332,9 @@ uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {
   };
   prune(by_name_, 'n', touched_names);
   prune(by_type_, 't', touched_types);
+  if (removed > 0) {
+    ++mutation_count_;
+  }
   return removed;
 }
 

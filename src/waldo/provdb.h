@@ -63,6 +63,17 @@ class ProvDb {
   std::string NameOf(core::PnodeId pnode) const;
   std::vector<core::PnodeId> AllPnodes() const;
 
+  // ---- Bulk query surface (used by batched federated RPCs) ----------------
+  // Each call is the shard-side handler for one frontier-shipping RPC from
+  // cluster::FederatedSource: a whole frontier's worth of lookups answered
+  // in one exchange. Results align positionally with the request vector.
+  std::vector<std::vector<core::ObjectRef>> InputsMany(
+      const std::vector<core::ObjectRef>& refs) const;
+  std::vector<std::vector<core::ObjectRef>> OutputsMany(
+      const std::vector<core::ObjectRef>& refs) const;
+  std::vector<std::vector<core::Record>> RecordsOfAllVersionsMany(
+      const std::vector<core::PnodeId>& pnodes) const;
+
   // ---- Range surface (used by cluster migration / rebalancing) ------------
   // Insert exactly the rows of `entry` that are missing. An INPUT edge can
   // be *half* present here: replication and range deletion each touch only
@@ -93,6 +104,12 @@ class ProvDb {
 
   uint64_t RecordCount() const { return record_count_; }
   uint64_t EdgeCount() const { return edge_count_; }
+
+  // Monotone counter bumped by every mutating call that changed the database
+  // (Insert, an inserting InsertUnique, a removing DeleteRange). Caches over
+  // the query surface — the federated portal's result cache — fingerprint
+  // this to detect that their entries may be stale.
+  uint64_t mutation_count() const { return mutation_count_; }
 
   ProvDbStats stats() const;
 
@@ -134,6 +151,7 @@ class ProvDb {
   std::map<core::PnodeId, std::string> names_;
   uint64_t record_count_ = 0;
   uint64_t edge_count_ = 0;
+  uint64_t mutation_count_ = 0;
 };
 
 }  // namespace pass::waldo

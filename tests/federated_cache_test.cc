@@ -1,0 +1,202 @@
+// Tests for the federated query portal: frontier-shipped RPCs and the
+// byte-bounded portal result cache, including its invalidation contract —
+// a ShardMap epoch bump (migration/rebalance) or any shard mutation must
+// drop every cached entry, so the portal can never serve stale ownership
+// or stale data.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/federated_source.h"
+#include "src/pql/eval.h"
+#include "src/pql/provdb_source.h"
+
+namespace pass::cluster {
+namespace {
+
+ClusterOptions SmallCluster(int shards) {
+  ClusterOptions options;
+  options.shards = shards;
+  options.ingest_batch_records = 16;
+  return options;
+}
+
+std::vector<core::ObjectRef> BuildCrossShardChain(ClusterCoordinator* cluster,
+                                                  int files) {
+  std::vector<core::ObjectRef> refs;
+  for (int i = 0; i < files; ++i) {
+    std::vector<core::ObjectRef> sources;
+    if (i > 0) {
+      sources.push_back(refs.back());
+    }
+    auto ref = cluster->WriteWithLineage(i % cluster->shard_count(),
+                                         "/f" + std::to_string(i),
+                                         "payload", sources);
+    EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+    refs.push_back(*ref);
+  }
+  return refs;
+}
+
+std::multiset<std::string> RunQuery(pql::GraphSource* source,
+                                    const std::string& query) {
+  pql::Engine engine(source);
+  auto result = engine.Run(query);
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  std::multiset<std::string> out;
+  if (!result.ok()) {
+    return out;
+  }
+  for (const auto& row : result->rows) {
+    std::string line;
+    for (const pql::Value& value : row) {
+      line += value.ToString();
+      line += '|';
+    }
+    out.insert(line);
+  }
+  return out;
+}
+
+std::multiset<std::string> MergedAnswer(ClusterCoordinator* cluster,
+                                        const std::string& query) {
+  waldo::ProvDb merged;
+  cluster->MergeInto(&merged);
+  pql::ProvDbSource merged_source(&merged);
+  return RunQuery(&merged_source, query);
+}
+
+const char kTailClosure[] =
+    "select Ancestor from Provenance.file as F F.input* as Ancestor "
+    "where F.name = \"/f11\"";
+
+TEST(FederatedCacheTest, RepeatedQueriesAreServedFromTheCache) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource source = cluster.Source(/*portal_shard=*/0);
+  auto first = RunQuery(&source, kTailClosure);
+  EXPECT_EQ(first, MergedAnswer(&cluster, kTailClosure));
+  uint64_t rpc_after_first = source.stats().remote_ops;
+  uint64_t hits_after_first = source.stats().cache_hits;
+  EXPECT_GT(rpc_after_first, 0u);
+  EXPECT_GT(hits_after_first, 0u);  // the closure re-walks shared ancestry
+  EXPECT_GT(source.cache_bytes_used(), 0u);
+
+  // The same query again: every edge list and attribute set is cached, so
+  // the only new RPCs are the (uncached) root-set scatter.
+  auto second = RunQuery(&source, kTailClosure);
+  EXPECT_EQ(second, first);
+  uint64_t scatter = static_cast<uint64_t>(cluster.shard_count()) - 1;
+  EXPECT_EQ(source.stats().remote_ops, rpc_after_first + scatter);
+  EXPECT_GT(source.stats().cache_hits, hits_after_first);
+}
+
+// Satellite acceptance: a query warms the portal cache, MigrateRange moves
+// the queried range, and the next query must observe the epoch bump and
+// re-route to the new owner — federated == merged before and after.
+TEST(FederatedCacheTest, MigrationInvalidatesWarmCacheAndReRoutes) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  auto refs = BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource source = cluster.Source(/*portal_shard=*/0);
+  auto before = RunQuery(&source, kTailClosure);
+  EXPECT_EQ(before, MergedAnswer(&cluster, kTailClosure));
+  EXPECT_GT(source.cache_bytes_used(), 0u);
+  uint64_t invalidations = source.stats().cache_invalidations;
+  uint64_t epoch = cluster.shard_map().epoch();
+
+  // Move the range holding /f4 and /f8 (shard 0's space) to shard 3.
+  core::PnodeRange range{refs[4].pnode, refs[8].pnode + 1};
+  ASSERT_TRUE(cluster.MigrateRange(range, 3).ok());
+  EXPECT_GT(cluster.shard_map().epoch(), epoch);  // epoch observed to bump
+  EXPECT_EQ(cluster.OwnerOf(refs[4].pnode), 3);
+
+  // Same source object, post-migration: the warm cache is dropped and the
+  // query re-routes through the live map to the new owner.
+  auto after = RunQuery(&source, kTailClosure);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(after, MergedAnswer(&cluster, kTailClosure));
+  EXPECT_GT(source.stats().cache_invalidations, invalidations);
+}
+
+TEST(FederatedCacheTest, IngestInvalidatesStaleEdgeLists) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  auto a = cluster.WriteWithLineage(0, "/a", "aaa", {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(cluster.WriteWithLineage(1, "/b", "bbb", {*a}).ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  const std::string descendants =
+      "select D from Provenance.file as F F.~input* as D "
+      "where F.name = \"/a\"";
+  // Portal on shard 1: /a lives on shard 0, so its reverse-edge list is a
+  // remote lookup the portal caches.
+  FederatedSource source = cluster.Source(/*portal_shard=*/1);
+  auto before = RunQuery(&source, descendants);
+  EXPECT_EQ(before.size(), 2u);  // /a and /b
+
+  // New lineage lands after the cache warmed: /c (on shard 1) descends from
+  // /a. Sync mutates both shard databases; the portal must not serve the
+  // cached pre-sync edge list.
+  ASSERT_TRUE(cluster.WriteWithLineage(1, "/c", "ccc", {*a}).ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+  auto after = RunQuery(&source, descendants);
+  EXPECT_EQ(after.size(), 3u);
+  EXPECT_EQ(after, MergedAnswer(&cluster, descendants));
+}
+
+TEST(FederatedCacheTest, TinyCacheEvictsButStaysCorrect) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource source = cluster.Source(/*portal_shard=*/0,
+                                          /*cache_bytes=*/256);
+  auto got = RunQuery(&source, kTailClosure);
+  EXPECT_EQ(got, MergedAnswer(&cluster, kTailClosure));
+  EXPECT_GT(source.stats().cache_evictions, 0u);
+  EXPECT_LE(source.cache_bytes_used(), 256u);
+}
+
+TEST(FederatedCacheTest, ZeroBudgetDisablesCaching) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource source = cluster.Source(/*portal_shard=*/0,
+                                          /*cache_bytes=*/0);
+  auto got = RunQuery(&source, kTailClosure);
+  EXPECT_EQ(got, MergedAnswer(&cluster, kTailClosure));
+  EXPECT_EQ(source.stats().cache_hits, 0u);
+  EXPECT_EQ(source.cache_bytes_used(), 0u);
+}
+
+TEST(FederatedCacheTest, CachedAndUncachedByteAccountingBalance) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  uint64_t net_before = cluster.network().stats().bytes_sent +
+                        cluster.network().stats().bytes_received;
+  FederatedSource source = cluster.Source(/*portal_shard=*/0);
+  RunQuery(&source, kTailClosure);
+  uint64_t net_after = cluster.network().stats().bytes_sent +
+                       cluster.network().stats().bytes_received;
+  // Remote request/response bytes are exactly what hit the wire; local
+  // bytes never did.
+  EXPECT_EQ(net_after - net_before, source.stats().remote_request_bytes +
+                                        source.stats().remote_response_bytes);
+  EXPECT_GT(source.stats().local_bytes, 0u);
+  EXPECT_GT(source.stats().remote_request_bytes, 0u);
+  EXPECT_GT(source.stats().remote_response_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace pass::cluster

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/pql/eval.h"
 #include "src/pql/lexer.h"
 #include "src/pql/parser.h"
@@ -312,6 +314,94 @@ TEST_F(PqlEvalTest, TableRenderingIncludesLabels) {
   std::string table = result->ToTable(&source_);
   EXPECT_NE(table.find("atlas-x.gif"), std::string::npos);
   EXPECT_NE(table.find("p1.v0"), std::string::npos);
+}
+
+// ---- Batched frontier ops ---------------------------------------------------
+
+// Wraps a source and counts single-node vs batched calls: the evaluator
+// must drive every link traversal and attribute lookup through the batched
+// ops (whole frontiers), never the single-node fallbacks — that contract is
+// what lets the federated source ship one RPC per shard per hop.
+class CountingSource : public GraphSource {
+ public:
+  explicit CountingSource(const GraphSource* inner) : inner_(inner) {}
+
+  std::vector<Node> RootSet(const std::string& name) const override {
+    return inner_->RootSet(name);
+  }
+  ValueSet Attribute(const Node& node, const std::string& attr) const override {
+    ++single_attribute_calls;
+    return inner_->Attribute(node, attr);
+  }
+  std::vector<Node> Follow(const Node& node, const std::string& link,
+                           bool inverse) const override {
+    ++single_follow_calls;
+    return inner_->Follow(node, link, inverse);
+  }
+  std::vector<std::vector<Node>> FollowMany(const std::vector<Node>& nodes,
+                                            const std::string& link,
+                                            bool inverse) const override {
+    ++follow_many_calls;
+    max_follow_batch = std::max(max_follow_batch, nodes.size());
+    return inner_->FollowMany(nodes, link, inverse);
+  }
+  std::vector<ValueSet> AttributeMany(const std::vector<Node>& nodes,
+                                      const std::string& attr) const override {
+    ++attribute_many_calls;
+    return inner_->AttributeMany(nodes, attr);
+  }
+  bool IsLink(const std::string& name) const override {
+    return inner_->IsLink(name);
+  }
+  std::string NodeLabel(const Node& node) const override {
+    return inner_->NodeLabel(node);
+  }
+
+  mutable uint64_t single_follow_calls = 0;
+  mutable uint64_t single_attribute_calls = 0;
+  mutable uint64_t follow_many_calls = 0;
+  mutable uint64_t attribute_many_calls = 0;
+  mutable size_t max_follow_batch = 0;
+
+ private:
+  const GraphSource* inner_;
+};
+
+TEST_F(PqlEvalTest, EvaluatorTraversesWholeFrontiersThroughBatchedOps) {
+  CountingSource counting(&source_);
+  Engine counting_engine(&counting);
+  const std::string query =
+      "select Ancestor from Provenance.file as F F.input* as Ancestor "
+      "where F.name = \"atlas-x.gif\"";
+  auto batched = counting_engine.Run(query);
+  ASSERT_TRUE(batched.ok());
+
+  // Never the single-node fallbacks, always the batched ops.
+  EXPECT_EQ(counting.single_follow_calls, 0u);
+  EXPECT_EQ(counting.single_attribute_calls, 0u);
+  EXPECT_GT(counting.follow_many_calls, 0u);
+  EXPECT_GT(counting.attribute_many_calls, 0u);
+  // Level-synchronous BFS: softmean's two ancestors (reslice1, anatomy1)
+  // expand as one two-node frontier, not two calls.
+  EXPECT_EQ(counting.max_follow_batch, 2u);
+
+  // Batching changes the call pattern, not the answer.
+  auto plain = engine_.Run(query);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(NamesIn(*batched), NamesIn(*plain));
+}
+
+TEST_F(PqlEvalTest, DefaultBatchedOpsMatchSingleNodeOps) {
+  std::vector<Node> nodes = source_.RootSet("file");
+  ASSERT_FALSE(nodes.empty());
+  auto follows = source_.FollowMany(nodes, "input", /*inverse=*/false);
+  auto attrs = source_.AttributeMany(nodes, "name");
+  ASSERT_EQ(follows.size(), nodes.size());
+  ASSERT_EQ(attrs.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(follows[i], source_.Follow(nodes[i], "input", false));
+    EXPECT_EQ(attrs[i].size(), source_.Attribute(nodes[i], "name").size());
+  }
 }
 
 TEST(PqlLimitsTest, BindingExplosionIsBounded) {

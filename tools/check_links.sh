@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Check that every relative markdown link in README.md and docs/*.md
+# resolves to an existing file. External (http/mailto) and pure-anchor
+# links are skipped. Exits nonzero listing every broken link.
+set -u
+
+cd "$(dirname "$0")/.."
+
+broken=0
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  # Extract inline link targets: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"  # drop any anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$(dirname "$doc")/$path" ]; then
+      echo "BROKEN: $doc -> $target"
+      broken=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$broken" -eq 0 ]; then
+  echo "all markdown links resolve"
+fi
+exit "$broken"
