@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/lasagna/recovery.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace pass::cluster {
@@ -66,28 +67,39 @@ Result<core::ObjectRef> ClusterCoordinator::RefOfPath(int shard,
 }
 
 Status ClusterCoordinator::Sync() {
+  obs::TraceCollector* trace = &env_.obs().trace();
+  sim::Nanos sync_start = env_.clock().now();
+  obs::ScopedSpan sync_span(trace, "cluster.sync");
   for (int shard = 0; shard < shard_count(); ++shard) {
     if (env_.MaybeCrash()) {
       return Unavailable("sync: coordinator crashed");
     }
+    obs::ScopedSpan shard_span(trace, "sync.shard", shard);
     workloads::Machine& m = *machines_[shard];
     lasagna::LasagnaFs* volume = m.volume();
-    PASS_RETURN_IF_ERROR(volume->ForceRotate());
-    // Recover the closed logs exactly as a restarted Waldo would: complete
-    // transactions survive, orphans and torn tails are discarded.
-    PASS_ASSIGN_OR_RETURN(
-        lasagna::RecoveryReport report,
-        lasagna::RunRecovery(&m.basefs(), options_.lasagna_options.log_dir));
+    lasagna::RecoveryReport report;
+    {
+      obs::ScopedSpan recover_span(trace, "sync.recover_log", shard);
+      PASS_RETURN_IF_ERROR(volume->ForceRotate());
+      // Recover the closed logs exactly as a restarted Waldo would: complete
+      // transactions survive, orphans and torn tails are discarded.
+      PASS_ASSIGN_OR_RETURN(
+          report,
+          lasagna::RunRecovery(&m.basefs(), options_.lasagna_options.log_dir));
+    }
     // Replication batches born from this shard's logs journal here.
     queue_->SetJournal(journals_[shard].get());
-    for (const lasagna::LogEntry& entry : report.recovered_entries) {
-      // InsertUnique, not Insert: after a crash the same log is recovered
-      // again, and local replay must not duplicate rows.
-      m.db()->InsertUnique(entry);  // local ingest: no network
-      queue_->Offer(shard, entry);
-      ++entries_recovered_;
-      if (env_.crashed()) {
-        return Unavailable("sync: coordinator crashed");
+    {
+      obs::ScopedSpan apply_span(trace, "sync.apply_local", shard);
+      for (const lasagna::LogEntry& entry : report.recovered_entries) {
+        // InsertUnique, not Insert: after a crash the same log is recovered
+        // again, and local replay must not duplicate rows.
+        m.db()->InsertUnique(entry);  // local ingest: no network
+        queue_->Offer(shard, entry);
+        ++entries_recovered_;
+        if (env_.crashed()) {
+          return Unavailable("sync: coordinator crashed");
+        }
       }
     }
     // Drain this shard's batches before its logs go away: only once every
@@ -97,15 +109,24 @@ Status ClusterCoordinator::Sync() {
     if (env_.MaybeCrash()) {
       return Unavailable("sync: coordinator crashed");
     }
+    obs::ScopedSpan remove_span(trace, "sync.remove_logs", shard);
     for (const std::string& path : volume->ClosedLogPaths()) {
       PASS_RETURN_IF_ERROR(volume->RemoveLog(path));
     }
   }
+  sync_span.End();
+  obs::MetricRegistry& metrics = env_.obs().metrics();
+  metrics.GetCounter("cluster.syncs").Add();
+  metrics.GetHistogram("cluster.sync_ns")
+      .Record(env_.clock().now() - sync_start);
   return Status::Ok();
 }
 
 Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   ClusterRecoveryReport report;
+  obs::TraceCollector* trace = &env_.obs().trace();
+  sim::Nanos recover_start = env_.clock().now();
+  obs::ScopedSpan recover_span(trace, "cluster.recover");
   double start_seconds = env_.clock().seconds();
   env_.ClearCrash();
   // The pending queues died with the coordinator; journaled batches are the
@@ -116,6 +137,8 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   std::vector<JournalState> states;
   states.reserve(machines_.size());
   for (size_t shard = 0; shard < machines_.size(); ++shard) {
+    obs::ScopedSpan scan_span(trace, "recover.scan",
+                              static_cast<int>(shard));
     PASS_ASSIGN_OR_RETURN(JournalState state, journals_[shard]->Scan());
     ++report.journals_scanned;
     report.journal_records_scanned += state.records_scanned;
@@ -151,6 +174,7 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   // durable already routes queries to the destination, so the copy and
   // delete must finish; one whose bump never became durable changed
   // nothing and is discarded (like an orphaned transaction).
+  obs::ScopedSpan rollforward_span(trace, "recover.rollforward");
   for (size_t shard = 0; shard < states.size(); ++shard) {
     for (const JournalMigration& migration : states[shard].migrations) {
       if (migration.committed) {
@@ -179,9 +203,12 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
     }
   }
 
+  rollforward_span.End();
+
   // Redeliver replication batches that were journaled but never
   // acknowledged. The destination's InsertUnique makes this idempotent
   // whether the crash hit before the send or after the apply.
+  obs::ScopedSpan redeliver_span(trace, "recover.redeliver");
   for (size_t shard = 0; shard < states.size(); ++shard) {
     for (const JournalBatch& batch : states[shard].batches) {
       if (batch.applied) {
@@ -194,6 +221,7 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
       ++report.batches_redelivered;
     }
   }
+  redeliver_span.End();
 
   // Logs that were mid-consumption when the coordinator died are still on
   // disk; a normal (journaled) sync drains them.
@@ -201,11 +229,19 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   PASS_RETURN_IF_ERROR(Sync());
   report.log_entries_resynced = entries_recovered_ - recovered_before;
 
-  for (auto& journal : journals_) {
-    PASS_RETURN_IF_ERROR(journal->Checkpoint());
+  {
+    obs::ScopedSpan checkpoint_span(trace, "recover.checkpoint");
+    for (auto& journal : journals_) {
+      PASS_RETURN_IF_ERROR(journal->Checkpoint());
+    }
   }
   report.shard_map_epoch = shard_map_.epoch();
   report.recovery_seconds = env_.clock().seconds() - start_seconds;
+  recover_span.End();
+  obs::MetricRegistry& metrics = env_.obs().metrics();
+  metrics.GetCounter("cluster.recoveries").Add();
+  metrics.GetHistogram("cluster.recover_ns")
+      .Record(env_.clock().now() - recover_start);
   return report;
 }
 
@@ -229,10 +265,16 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
   if (core::PnodeShard(range.begin) != core::PnodeShard(range.end - 1)) {
     return InvalidArgument("migrate: range must lie in one home space");
   }
+  obs::TraceCollector* trace = &env_.obs().trace();
+  sim::Nanos migrate_start = env_.clock().now();
+  obs::ScopedSpan migrate_span(trace, "cluster.migrate");
   // Pending replication batches were routed under the current map; deliver
   // them before ownership changes.
   queue_->SetJournal(journals_[from].get());
-  queue_->Flush();
+  {
+    obs::ScopedSpan flush_span(trace, "migrate.flush_pending", from);
+    queue_->Flush();
+  }
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
@@ -241,7 +283,10 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
   // migration: routing never changed, every row is still on the source.
   uint64_t migration_id = next_migration_id_++;
   ClusterJournal* journal = journals_[from].get();
-  journal->AppendMigrateBegin(migration_id, range, from, to_shard);
+  {
+    obs::ScopedSpan begin_span(trace, "migrate.journal_begin", from);
+    journal->AppendMigrateBegin(migration_id, range, from, to_shard);
+  }
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
@@ -249,17 +294,20 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
   // Phase 2 — the point of no return. Once the epoch bump is durable the
   // map routes the range to the destination, and recovery must (and will)
   // roll the copy and delete forward.
+  obs::ScopedSpan bump_span(trace, "migrate.epoch_bump", from);
   PASS_RETURN_IF_ERROR(shard_map_.Assign(range, to_shard));
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
   journal->AppendEpochBump(shard_map_.epoch(), migration_id, range, to_shard);
+  bump_span.End();
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
 
   // Copy: idempotent through InsertUnique, so recovery may re-ship.
   waldo::ProvDb* source = machines_[from]->db();
+  obs::ScopedSpan copy_span(trace, "migrate.copy", from);
   std::vector<lasagna::LogEntry> entries =
       source->EntriesInRange(range.begin, range.end);
   IngestQueue::ShipReport shipped = queue_->ShipTo(to_shard, entries);
@@ -267,6 +315,7 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
     return Unavailable("migrate: coordinator crashed");
   }
   journal->AppendMigrateCopied(migration_id);
+  copy_span.End();
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
@@ -276,11 +325,18 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
   report.bytes = shipped.bytes;
 
   // Phase 3 — delete the moved rows, then commit.
+  obs::ScopedSpan commit_span(trace, "migrate.commit", from);
   report.rows_deleted = source->DeleteRange(range.begin, range.end);
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
   journal->AppendMigrateCommit(migration_id);
+  commit_span.End();
+  migrate_span.End();
+  obs::MetricRegistry& metrics = env_.obs().metrics();
+  metrics.GetCounter("cluster.migrations").Add();
+  metrics.GetHistogram("cluster.migrate_ns")
+      .Record(env_.clock().now() - migrate_start);
 
   ++migration_stats_.migrations;
   migration_stats_.entries_shipped += report.entries_shipped;
@@ -425,7 +481,7 @@ FederatedSource ClusterCoordinator::Source(int portal_shard,
     dbs.push_back(m->db());
   }
   return FederatedSource(std::move(dbs), &net_, &shard_map_, portal_shard,
-                         cache_bytes);
+                         cache_bytes, &env_.obs());
 }
 
 void ClusterCoordinator::MergeInto(waldo::ProvDb* out) const {

@@ -40,6 +40,15 @@ uint64_t ValueSetBytes(const pql::ValueSet& values) {
 
 }  // namespace
 
+void FederatedSource::RecordHop(const char* op, sim::Nanos start_ns) const {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_->metrics()
+      .GetHistogram("query.hop_ns", obs::Labels{{"op", op}})
+      .Record(obs_->clock()->now() - start_ns);
+}
+
 void FederatedSource::ChargeExchange(int shard, uint64_t request_bytes,
                                      uint64_t response_bytes) const {
   if (shard == portal_shard_) {
@@ -130,12 +139,16 @@ void FederatedSource::CacheInsert(CacheKey key, CacheEntry entry) const {
 // ---- GraphSource surface ----------------------------------------------------
 
 std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
+  sim::Nanos hop_start = obs_ == nullptr ? 0 : obs_->clock()->now();
+  obs::ScopedSpan hop_span(Tracer(), "query.root_set");
   // Scatter-gather: ask every shard for its locally owned members of the
   // root set. Replicated foreign entries are skipped on the replica — the
   // owner reports them — so each object appears exactly once.
   std::string type = name == "object" ? "" : pql::RootSetTypeName(name);
   std::map<core::PnodeId, pql::Node> gathered;  // sorted by pnode
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    obs::ScopedSpan rpc_span(Tracer(), "rpc.root_set",
+                             static_cast<int>(shard));
     const waldo::ProvDb* db = shards_[shard];
     std::vector<core::PnodeId> pnodes =
         name == "object" ? db->AllPnodes() : db->PnodesByType(type);
@@ -153,6 +166,8 @@ std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
     ChargeExchange(static_cast<int>(shard), kRpcHeaderBytes,
                    kPerRowResponseBytes * (rows + 1));
   }
+  hop_span.End();
+  RecordHop("root_set", hop_start);
   std::vector<pql::Node> out;
   out.reserve(gathered.size());
   for (const auto& [pnode, node] : gathered) {
@@ -164,6 +179,8 @@ std::vector<pql::Node> FederatedSource::RootSet(const std::string& name) const {
 std::vector<pql::ValueSet> FederatedSource::AttributeMany(
     const std::vector<pql::Node>& nodes, const std::string& attr) const {
   std::vector<pql::ValueSet> out(nodes.size());
+  sim::Nanos hop_start = obs_ == nullptr ? 0 : obs_->clock()->now();
+  obs::ScopedSpan hop_span(Tracer(), "query.attr_hop");
   std::string want = Lower(attr);
   ValidateCache();
   // Virtual and portal-local attributes answer immediately; cached remote
@@ -190,6 +207,7 @@ std::vector<pql::ValueSet> FederatedSource::AttributeMany(
     by_shard[shard].push_back(i);
   }
   for (const auto& [shard, indexes] : by_shard) {
+    obs::ScopedSpan rpc_span(Tracer(), "rpc.attribute", shard);
     const waldo::ProvDb* db = shards_[shard];
     std::vector<core::PnodeId> pnodes;
     pnodes.reserve(indexes.size());
@@ -197,8 +215,16 @@ std::vector<pql::ValueSet> FederatedSource::AttributeMany(
       pnodes.push_back(nodes[i].pnode);
     }
     // One bulk RPC per shard: the owner filters to the requested attribute
-    // and returns one value set per node.
+    // and returns one value set per node. The serve span parents to this
+    // rpc span through the propagated context, the trace-level record of
+    // the request crossing the simulated shard boundary.
+    obs::TraceCollector* tracer = Tracer();
+    obs::TraceContext rpc_ctx =
+        tracer == nullptr ? obs::TraceContext{} : tracer->CurrentContext();
+    obs::ScopedSpan serve_span(tracer, rpc_ctx, "shard.serve_attribute",
+                               shard);
     auto records = db->RecordsOfAllVersionsMany(pnodes);
+    serve_span.End();
     uint64_t response_bytes = kPerRowResponseBytes * indexes.size();
     for (size_t j = 0; j < indexes.size(); ++j) {
       pql::ValueSet values;
@@ -220,6 +246,8 @@ std::vector<pql::ValueSet> FederatedSource::AttributeMany(
                    kRpcHeaderBytes + kPerNodeRequestBytes * indexes.size(),
                    response_bytes);
   }
+  hop_span.End();
+  RecordHop("attribute", hop_start);
   return out;
 }
 
@@ -234,6 +262,13 @@ std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
   std::vector<std::vector<pql::Node>> out(nodes.size());
   if (link != "input") {
     return out;
+  }
+  sim::Nanos hop_start = obs_ == nullptr ? 0 : obs_->clock()->now();
+  obs::ScopedSpan hop_span(Tracer(), "query.follow_hop");
+  if (obs_ != nullptr) {
+    obs_->metrics()
+        .GetHistogram("query.frontier_nodes")
+        .Record(nodes.size());
   }
   ValidateCache();
   // Forward edges live with the subject's owner; reverse edges live with
@@ -254,13 +289,21 @@ std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
     by_shard[shard].push_back(i);
   }
   for (const auto& [shard, indexes] : by_shard) {
+    obs::ScopedSpan rpc_span(Tracer(), "rpc.follow", shard);
     const waldo::ProvDb* db = shards_[shard];
     std::vector<core::ObjectRef> refs;
     refs.reserve(indexes.size());
     for (size_t i : indexes) {
       refs.push_back(nodes[i]);
     }
+    // Context propagated with the frontier RPC: the owning shard's serve
+    // span links under this hop even across the simulated boundary.
+    obs::TraceCollector* tracer = Tracer();
+    obs::TraceContext rpc_ctx =
+        tracer == nullptr ? obs::TraceContext{} : tracer->CurrentContext();
+    obs::ScopedSpan serve_span(tracer, rpc_ctx, "shard.serve_follow", shard);
     auto results = inverse ? db->OutputsMany(refs) : db->InputsMany(refs);
+    serve_span.End();
     uint64_t rows = 0;
     for (size_t j = 0; j < indexes.size(); ++j) {
       rows += results[j].size();
@@ -276,6 +319,8 @@ std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
                    kRpcHeaderBytes + kPerNodeRequestBytes * indexes.size(),
                    kPerRowResponseBytes * (rows + indexes.size()));
   }
+  hop_span.End();
+  RecordHop("follow", hop_start);
   return out;
 }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/cluster/shard_map.h"
+#include "src/obs/obs.h"
 #include "src/pql/graph.h"
 #include "src/sim/net.h"
 #include "src/waldo/provdb.h"
@@ -65,14 +66,18 @@ class FederatedSource : public pql::GraphSource {
   static constexpr size_t kDefaultCacheBytes = 1u << 20;
 
   // `cache_bytes` bounds the portal result cache (0 disables caching).
+  // `obs` (borrowed, may be null) records query spans and hop latency
+  // histograms; ClusterCoordinator::Source wires the cluster Env's plane.
   FederatedSource(std::vector<const waldo::ProvDb*> shards, sim::Network* net,
                   const ShardMap* map, int portal_shard = 0,
-                  size_t cache_bytes = kDefaultCacheBytes)
+                  size_t cache_bytes = kDefaultCacheBytes,
+                  obs::Observability* obs = nullptr)
       : shards_(std::move(shards)),
         net_(net),
         map_(map),
         portal_shard_(portal_shard),
-        cache_capacity_(cache_bytes) {}
+        cache_capacity_(cache_bytes),
+        obs_(obs) {}
 
   // Movable but not copyable: cache entries hold iterators into lru_, which
   // survive a move (std::list/map moves preserve them) but would alias the
@@ -97,6 +102,10 @@ class FederatedSource : public pql::GraphSource {
   std::string NodeLabel(const pql::Node& node) const override;
 
   const FederatedStats& stats() const { return stats_; }
+  // Uniform with Disk/Net/Lasagna/IngestQueue: zero the counters so benches
+  // can measure phases (the cache itself is untouched — only the counters
+  // reset, so a warm-cache phase reports pure-hit numbers).
+  void ResetStats() { stats_ = FederatedStats(); }
   size_t cache_bytes_used() const { return cache_bytes_; }
   size_t cache_capacity() const { return cache_capacity_; }
 
@@ -128,6 +137,12 @@ class FederatedSource : public pql::GraphSource {
   // Latest version node of `pnode` in its owner's database.
   pql::Node Latest(const waldo::ProvDb& db, core::PnodeId pnode) const;
 
+  obs::TraceCollector* Tracer() const {
+    return obs_ == nullptr ? nullptr : &obs_->trace();
+  }
+  // Record one hop's sim-clock latency into "query.hop_ns"{op=...}.
+  void RecordHop(const char* op, sim::Nanos start_ns) const;
+
   // Drop the whole cache when the ShardMap epoch or any shard's database
   // changed since it was filled; cheap no-op otherwise.
   void ValidateCache() const;
@@ -139,6 +154,7 @@ class FederatedSource : public pql::GraphSource {
   const ShardMap* map_;
   int portal_shard_;
   size_t cache_capacity_;
+  obs::Observability* obs_ = nullptr;
   mutable FederatedStats stats_;
   mutable std::map<CacheKey, CacheEntry> cache_;
   mutable std::list<CacheKey> lru_;  // front = most recently used

@@ -1,9 +1,11 @@
 #include "src/cluster/ingest.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/cluster/journal.h"
 #include "src/core/object.h"
+#include "src/obs/obs.h"
 
 namespace pass::cluster {
 
@@ -12,6 +14,10 @@ namespace {
 // RPC framing overhead per batch (op code, shard id, entry count, ...).
 constexpr uint64_t kBatchHeaderBytes = 32;
 constexpr uint64_t kAckBytes = 16;
+
+obs::Labels ShardLabel(int shard) {
+  return obs::Labels{{"shard", std::to_string(shard)}};
+}
 
 }  // namespace
 
@@ -46,26 +52,44 @@ void IngestQueue::FlushShard(int destination) {
   if (queue.empty() || Crashed()) {
     return;
   }
+  obs::TraceCollector* trace =
+      env_ == nullptr ? nullptr : &env_->obs().trace();
+  sim::Nanos flush_start = env_ == nullptr ? 0 : env_->clock().now();
+  obs::ScopedSpan flush_span(trace, "ingest.flush", destination);
   std::string payload;
   lasagna::EncodeLogEntries(&payload, queue);
   // WAP for the cluster: the batch is durable in the journal before any of
   // its effects (the network send, the remote apply) happen.
   uint64_t batch_id = 0;
   if (journal_ != nullptr) {
+    obs::ScopedSpan journal_span(trace, "journal.repl_batch");
     batch_id = journal_->AppendReplBatch(destination, queue);
   }
   if (MaybeCrash()) {
     return;  // journaled but never sent: recovery redelivers
   }
-  net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+  // The batch "carries" the sender's trace context across the simulated
+  // RPC boundary: the destination's apply span parents to this rpc span.
+  obs::TraceContext rpc_ctx;
+  {
+    obs::ScopedSpan rpc_span(trace, "rpc.repl_batch", destination);
+    if (trace != nullptr) {
+      rpc_ctx = trace->CurrentContext();
+    }
+    net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+  }
   ++stats_.batches_sent;
   stats_.bytes_sent += payload.size();
   waldo::ProvDb* db = shards_[destination];
-  for (const lasagna::LogEntry& entry : queue) {
-    // InsertUnique: redelivery of this batch after a crash cannot duplicate
-    // rows the destination already applied.
-    if (db->InsertUnique(entry)) {
-      ++stats_.entries_replicated;
+  {
+    obs::ScopedSpan apply_span(trace, rpc_ctx, "shard.apply_batch",
+                               destination);
+    for (const lasagna::LogEntry& entry : queue) {
+      // InsertUnique: redelivery of this batch after a crash cannot
+      // duplicate rows the destination already applied.
+      if (db->InsertUnique(entry)) {
+        ++stats_.entries_replicated;
+      }
     }
   }
   if (MaybeCrash()) {
@@ -75,6 +99,13 @@ void IngestQueue::FlushShard(int destination) {
     journal_->AppendReplApplied(batch_id);
   }
   queue.clear();
+  if (env_ != nullptr) {
+    obs::MetricRegistry& metrics = env_->obs().metrics();
+    obs::Labels labels = ShardLabel(destination);
+    metrics.GetCounter("ingest.flushes", labels).Add();
+    metrics.GetHistogram("ingest.flush_ns", labels)
+        .Record(env_->clock().now() - flush_start);
+  }
 }
 
 void IngestQueue::Flush() {
@@ -91,11 +122,23 @@ void IngestQueue::DropPending() {
 
 uint64_t IngestQueue::Redeliver(
     int destination, const std::vector<lasagna::LogEntry>& entries) {
+  obs::TraceCollector* trace =
+      env_ == nullptr ? nullptr : &env_->obs().trace();
+  obs::ScopedSpan redeliver_span(trace, "ingest.redeliver", destination);
   std::string payload;
   lasagna::EncodeLogEntries(&payload, entries);
-  net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+  obs::TraceContext rpc_ctx;
+  {
+    obs::ScopedSpan rpc_span(trace, "rpc.repl_batch", destination);
+    if (trace != nullptr) {
+      rpc_ctx = trace->CurrentContext();
+    }
+    net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+  }
   uint64_t inserted = 0;
   waldo::ProvDb* db = shards_[destination];
+  obs::ScopedSpan apply_span(trace, rpc_ctx, "shard.apply_batch",
+                             destination);
   for (const lasagna::LogEntry& entry : entries) {
     if (db->InsertUnique(entry)) {
       ++inserted;
@@ -107,27 +150,49 @@ uint64_t IngestQueue::Redeliver(
 IngestQueue::ShipReport IngestQueue::ShipTo(
     int destination, const std::vector<lasagna::LogEntry>& entries) {
   ShipReport report;
+  obs::TraceCollector* trace =
+      env_ == nullptr ? nullptr : &env_->obs().trace();
   waldo::ProvDb* db = shards_[destination];
   for (size_t at = 0; at < entries.size(); at += batch_records_) {
     if (MaybeCrash()) {
       return report;  // mid-copy crash: recovery re-ships the whole range
     }
+    sim::Nanos chunk_start = env_ == nullptr ? 0 : env_->clock().now();
+    obs::ScopedSpan chunk_span(trace, "migrate.ship_chunk", destination);
     size_t batch_end = std::min(at + batch_records_, entries.size());
     std::vector<lasagna::LogEntry> chunk(entries.begin() + at,
                                          entries.begin() + batch_end);
     std::string payload;
     lasagna::EncodeLogEntries(&payload, chunk);
-    net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+    obs::TraceContext rpc_ctx;
+    {
+      obs::ScopedSpan rpc_span(trace, "rpc.ship", destination);
+      if (trace != nullptr) {
+        rpc_ctx = trace->CurrentContext();
+      }
+      net_->RoundTrip(kBatchHeaderBytes + payload.size(), kAckBytes);
+    }
     ++report.batches;
     report.bytes += payload.size();
-    for (const lasagna::LogEntry& entry : chunk) {
-      // InsertUnique adds only the rows (or edge halves) still missing, so
-      // re-sending previously replicated entries cannot duplicate them.
-      if (db->InsertUnique(entry)) {
-        ++report.entries_shipped;
-      } else {
-        ++report.entries_skipped;
+    {
+      obs::ScopedSpan apply_span(trace, rpc_ctx, "shard.apply_chunk",
+                                 destination);
+      for (const lasagna::LogEntry& entry : chunk) {
+        // InsertUnique adds only the rows (or edge halves) still missing, so
+        // re-sending previously replicated entries cannot duplicate them.
+        if (db->InsertUnique(entry)) {
+          ++report.entries_shipped;
+        } else {
+          ++report.entries_skipped;
+        }
       }
+    }
+    chunk_span.End();
+    if (env_ != nullptr) {
+      env_->obs()
+          .metrics()
+          .GetHistogram("migrate.ship_chunk_ns", ShardLabel(destination))
+          .Record(env_->clock().now() - chunk_start);
     }
   }
   return report;

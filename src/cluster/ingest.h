@@ -105,6 +105,9 @@ class IngestQueue {
                     const std::vector<lasagna::LogEntry>& entries);
 
   const IngestStats& stats() const { return stats_; }
+  // Uniform with Disk/Net/Lasagna/FederatedSource: zero the counters so
+  // benches can measure phases instead of cumulative totals.
+  void ResetStats() { stats_ = IngestStats(); }
 
  private:
   bool Crashed() const { return env_ != nullptr && env_->crashed(); }

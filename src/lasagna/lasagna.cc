@@ -126,6 +126,15 @@ LasagnaFs::LasagnaFs(sim::Env* env, fs::MemFs* lower,
       allocator_(allocator),
       options_(std::move(options)) {
   (void)lower_->SeedDir(options_.log_dir);
+  // The allocator's home hint labels this volume's metrics: in a cluster
+  // every shard's Lasagna shares one Env (one registry), so the label keeps
+  // their series apart.
+  obs::Labels labels{
+      {"shard", std::to_string(core::PnodeShard(allocator_->peek_next()))}};
+  obs::MetricRegistry& metrics = env_->obs().metrics();
+  txn_ns_hist_ = &metrics.GetHistogram("lasagna.txn_ns", labels);
+  log_flush_ns_hist_ = &metrics.GetHistogram("lasagna.log_flush_ns", labels);
+  log_flush_bytes_ = &metrics.GetCounter("lasagna.log_flush_bytes", labels);
 }
 
 void LasagnaFs::ChargeCopy(size_t bytes) {
@@ -301,6 +310,8 @@ Status LasagnaFs::AppendTxn(const core::Bundle& bundle,
                             const core::ObjectRef& target,
                             const std::string& data_path, uint64_t offset,
                             std::string_view data) {
+  sim::Nanos txn_start = env_->clock().now();
+  obs::ScopedSpan txn_span(&env_->obs().trace(), "lasagna.append_txn");
   uint64_t txn_id = next_txn_++;
   std::string frames;
 
@@ -333,6 +344,7 @@ Status LasagnaFs::AppendTxn(const core::Bundle& bundle,
   ++lasagna_stats_.txns;
   lasagna_stats_.records_logged += records;
   lasagna_stats_.prov_bytes_logged += frames.size();
+  txn_ns_hist_->Record(env_->clock().now() - txn_start);
   return Status::Ok();
 }
 
@@ -349,6 +361,8 @@ Status LasagnaFs::FlushLogBuffer() {
   if (log_buffer_.empty()) {
     return Status::Ok();
   }
+  sim::Nanos flush_start = env_->clock().now();
+  obs::ScopedSpan flush_span(&env_->obs().trace(), "lasagna.flush_log");
   std::string frames = std::move(log_buffer_);
   log_buffer_.clear();
   std::string path =
@@ -361,6 +375,9 @@ Status LasagnaFs::FlushLogBuffer() {
   PASS_ASSIGN_OR_RETURN(os::VnodeRef vnode, lower_->ResolvePath(path));
   PASS_ASSIGN_OR_RETURN(size_t n, vnode->Write(log_size_, frames));
   log_size_ += n;
+  log_flush_bytes_->Add(n);
+  log_flush_ns_hist_->Record(env_->clock().now() - flush_start);
+  flush_span.End();
   if (log_size_ >= options_.log_rotate_bytes) {
     PASS_RETURN_IF_ERROR(ForceRotate());
   }

@@ -179,6 +179,9 @@ class LasagnaFs : public os::FileSystem {
   void MaybeRotateDormant();
 
   const LasagnaStats& lasagna_stats() const { return lasagna_stats_; }
+  // Uniform with Disk/Net/IngestQueue/FederatedSource: zero the counters so
+  // benches can measure phases instead of cumulative totals.
+  void ResetStats() { lasagna_stats_ = LasagnaStats(); }
   fs::MemFs* lower() { return lower_; }
   sim::Env* env() { return env_; }
 
@@ -209,6 +212,11 @@ class LasagnaFs : public os::FileSystem {
   core::PnodeAllocator* allocator_;
   LasagnaOptions options_;
   LasagnaStats lasagna_stats_;
+  // Cached registry series (references are stable): per-write Record() on
+  // the log path costs an array increment, not a map lookup.
+  obs::Histogram* txn_ns_hist_ = nullptr;
+  obs::Histogram* log_flush_ns_hist_ = nullptr;
+  obs::Counter* log_flush_bytes_ = nullptr;
 
   std::map<os::Ino, FileMeta> meta_;
   std::map<os::Ino, os::VnodeRef> vnode_cache_;

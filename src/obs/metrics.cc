@@ -1,0 +1,160 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "src/util/strings.h"
+
+namespace pass::obs {
+
+std::string CanonicalLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[std::bit_width(value)];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+uint64_t Histogram::BucketLow(size_t i) {
+  return i == 0 ? 0 : 1ull << (i - 1);
+}
+
+uint64_t Histogram::BucketHigh(size_t i) {
+  return i >= 64 ? std::numeric_limits<uint64_t>::max() : 1ull << i;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    double next = cumulative + static_cast<double>(buckets_[i]);
+    if (target <= next) {
+      double fraction = (target - cumulative) / static_cast<double>(buckets_[i]);
+      double low = static_cast<double>(BucketLow(i));
+      double high = static_cast<double>(BucketHigh(i));
+      double value = low + fraction * (high - low);
+      return std::clamp(value, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name, Labels labels) {
+  return counters_[Key(std::string(name), CanonicalLabels(std::move(labels)))];
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, Labels labels) {
+  return gauges_[Key(std::string(name), CanonicalLabels(std::move(labels)))];
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name, Labels labels) {
+  return histograms_[Key(std::string(name),
+                         CanonicalLabels(std::move(labels)))];
+}
+
+void MetricRegistry::Reset() {
+  for (auto& [key, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [key, gauge] : gauges_) {
+    gauge.Reset();
+  }
+  for (auto& [key, histogram] : histograms_) {
+    histogram.Reset();
+  }
+}
+
+std::string MetricRegistry::DumpText() const {
+  // Merge the three sorted maps into one (name, labels)-sorted listing.
+  std::map<Key, std::string> lines;
+  for (const auto& [key, counter] : counters_) {
+    lines[key] = StrFormat(
+        "counter %s{%s} %llu", key.first.c_str(), key.second.c_str(),
+        static_cast<unsigned long long>(counter.value()));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    lines[key] = StrFormat("gauge %s{%s} %lld", key.first.c_str(),
+                           key.second.c_str(),
+                           static_cast<long long>(gauge.value()));
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    lines[key] = StrFormat(
+        "histogram %s{%s} count=%llu sum=%llu min=%llu max=%llu p50=%.0f "
+        "p90=%.0f p99=%.0f",
+        key.first.c_str(), key.second.c_str(),
+        static_cast<unsigned long long>(histogram.count()),
+        static_cast<unsigned long long>(histogram.sum()),
+        static_cast<unsigned long long>(histogram.min()),
+        static_cast<unsigned long long>(histogram.max()),
+        histogram.Quantile(0.50), histogram.Quantile(0.90),
+        histogram.Quantile(0.99));
+  }
+  std::string out;
+  for (const auto& [key, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricRegistry::DumpCsv() const {
+  std::map<Key, std::string> lines;
+  for (const auto& [key, counter] : counters_) {
+    lines[key] =
+        StrFormat("csv,metric,counter,%s,%s,,%llu,,,,,", key.first.c_str(),
+                  key.second.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    lines[key] =
+        StrFormat("csv,metric,gauge,%s,%s,,%lld,,,,,", key.first.c_str(),
+                  key.second.c_str(), static_cast<long long>(gauge.value()));
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    lines[key] = StrFormat(
+        "csv,metric,histogram,%s,%s,%llu,%llu,%llu,%llu,%.0f,%.0f,%.0f",
+        key.first.c_str(), key.second.c_str(),
+        static_cast<unsigned long long>(histogram.count()),
+        static_cast<unsigned long long>(histogram.sum()),
+        static_cast<unsigned long long>(histogram.min()),
+        static_cast<unsigned long long>(histogram.max()),
+        histogram.Quantile(0.50), histogram.Quantile(0.90),
+        histogram.Quantile(0.99));
+  }
+  std::string out;
+  for (const auto& [key, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pass::obs

@@ -1,0 +1,34 @@
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+// Observability bundle: one MetricRegistry + one TraceCollector per
+// simulated world, owned by sim::Env so every layer sharing an Env (kernel,
+// Lasagna, cluster, federated portal) records into the same timeline.
+// Instrumentation reads the sim clock but never advances it.
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/clock.h"
+
+namespace pass::obs {
+
+class Observability {
+ public:
+  explicit Observability(const sim::Clock* clock)
+      : clock_(clock), trace_(clock) {}
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  TraceCollector& trace() { return trace_; }
+  const TraceCollector& trace() const { return trace_; }
+  const sim::Clock* clock() const { return clock_; }
+
+ private:
+  const sim::Clock* clock_;
+  MetricRegistry metrics_;
+  TraceCollector trace_;
+};
+
+}  // namespace pass::obs
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,0 +1,81 @@
+#include "src/obs/stats_bridge.h"
+
+namespace pass::obs {
+
+namespace {
+
+void Set(MetricRegistry* registry, const char* name, const Labels& labels,
+         uint64_t value) {
+  registry->GetGauge(name, labels).Set(static_cast<int64_t>(value));
+}
+
+}  // namespace
+
+void Publish(MetricRegistry* registry, const sim::DiskStats& stats,
+             Labels labels) {
+  Set(registry, "disk.reads", labels, stats.reads);
+  Set(registry, "disk.writes", labels, stats.writes);
+  Set(registry, "disk.bytes_read", labels, stats.bytes_read);
+  Set(registry, "disk.bytes_written", labels, stats.bytes_written);
+  Set(registry, "disk.seeks", labels, stats.seeks);
+  Set(registry, "disk.busy_ns", labels, stats.busy_ns);
+}
+
+void Publish(MetricRegistry* registry, const sim::NetStats& stats,
+             Labels labels) {
+  Set(registry, "net.round_trips", labels, stats.round_trips);
+  Set(registry, "net.bytes_sent", labels, stats.bytes_sent);
+  Set(registry, "net.bytes_received", labels, stats.bytes_received);
+}
+
+void Publish(MetricRegistry* registry, const lasagna::LasagnaStats& stats,
+             Labels labels) {
+  Set(registry, "lasagna.pass_writes", labels, stats.pass_writes);
+  Set(registry, "lasagna.pass_reads", labels, stats.pass_reads);
+  Set(registry, "lasagna.prov_only_writes", labels, stats.prov_only_writes);
+  Set(registry, "lasagna.records_logged", labels, stats.records_logged);
+  Set(registry, "lasagna.prov_bytes_logged", labels, stats.prov_bytes_logged);
+  Set(registry, "lasagna.data_bytes_written", labels,
+      stats.data_bytes_written);
+  Set(registry, "lasagna.freezes", labels, stats.freezes);
+  Set(registry, "lasagna.mkobjs", labels, stats.mkobjs);
+  Set(registry, "lasagna.txns", labels, stats.txns);
+  Set(registry, "lasagna.rotations", labels, stats.rotations);
+}
+
+void Publish(MetricRegistry* registry, const cluster::IngestStats& stats,
+             Labels labels) {
+  Set(registry, "ingest.entries_examined", labels, stats.entries_examined);
+  Set(registry, "ingest.entries_replicated", labels,
+      stats.entries_replicated);
+  Set(registry, "ingest.batches_sent", labels, stats.batches_sent);
+  Set(registry, "ingest.bytes_sent", labels, stats.bytes_sent);
+}
+
+void Publish(MetricRegistry* registry, const cluster::FederatedStats& stats,
+             Labels labels) {
+  Set(registry, "federated.local_ops", labels, stats.local_ops);
+  Set(registry, "federated.remote_ops", labels, stats.remote_ops);
+  Set(registry, "federated.remote_request_bytes", labels,
+      stats.remote_request_bytes);
+  Set(registry, "federated.remote_response_bytes", labels,
+      stats.remote_response_bytes);
+  Set(registry, "federated.local_bytes", labels, stats.local_bytes);
+  Set(registry, "federated.cache_hits", labels, stats.cache_hits);
+  Set(registry, "federated.cache_misses", labels, stats.cache_misses);
+  Set(registry, "federated.cache_evictions", labels, stats.cache_evictions);
+  Set(registry, "federated.cache_invalidations", labels,
+      stats.cache_invalidations);
+}
+
+void Publish(MetricRegistry* registry, const cluster::MigrationStats& stats,
+             Labels labels) {
+  Set(registry, "migration.migrations", labels, stats.migrations);
+  Set(registry, "migration.entries_shipped", labels, stats.entries_shipped);
+  Set(registry, "migration.entries_skipped", labels, stats.entries_skipped);
+  Set(registry, "migration.batches", labels, stats.batches);
+  Set(registry, "migration.bytes", labels, stats.bytes);
+  Set(registry, "migration.rows_deleted", labels, stats.rows_deleted);
+}
+
+}  // namespace pass::obs

@@ -1,0 +1,39 @@
+#ifndef SRC_OBS_STATS_BRIDGE_H_
+#define SRC_OBS_STATS_BRIDGE_H_
+
+// Bridge the pre-existing ad-hoc stats structs (DiskStats, NetStats,
+// LasagnaStats, IngestStats, FederatedStats, MigrationStats) into the
+// MetricRegistry, so one dump shows every layer's counters next to the span
+// histograms. The structs stay the primary API — benches keep reading them
+// directly — and each Publish() snapshots the struct's cumulative totals
+// into gauges named "<prefix>.<field>" under the given labels.
+//
+// This header is the one place obs/ looks *up* the stack (it includes
+// cluster and lasagna headers); nothing else in obs/ may.
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/federated_source.h"
+#include "src/cluster/ingest.h"
+#include "src/lasagna/lasagna.h"
+#include "src/obs/metrics.h"
+#include "src/sim/disk.h"
+#include "src/sim/net.h"
+
+namespace pass::obs {
+
+void Publish(MetricRegistry* registry, const sim::DiskStats& stats,
+             Labels labels = {});
+void Publish(MetricRegistry* registry, const sim::NetStats& stats,
+             Labels labels = {});
+void Publish(MetricRegistry* registry, const lasagna::LasagnaStats& stats,
+             Labels labels = {});
+void Publish(MetricRegistry* registry, const cluster::IngestStats& stats,
+             Labels labels = {});
+void Publish(MetricRegistry* registry, const cluster::FederatedStats& stats,
+             Labels labels = {});
+void Publish(MetricRegistry* registry, const cluster::MigrationStats& stats,
+             Labels labels = {});
+
+}  // namespace pass::obs
+
+#endif  // SRC_OBS_STATS_BRIDGE_H_

@@ -4,9 +4,13 @@
 // Simulation environment: the single shared clock plus a seeded RNG. One Env
 // exists per simulated world (a "machine room"); every kernel, disk, and
 // network in that world shares it so costs compose into one elapsed time.
+// The Env also owns the world's observability plane (metric registry +
+// trace collector, src/obs/): instrumentation anywhere in the stack records
+// against this clock without ever advancing it.
 
 #include <cstdint>
 
+#include "src/obs/obs.h"
 #include "src/sim/clock.h"
 #include "src/util/rng.h"
 
@@ -19,6 +23,8 @@ class Env {
   Clock& clock() { return clock_; }
   const Clock& clock() const { return clock_; }
   Rng& rng() { return rng_; }
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
 
   // Charge CPU work (workload computation, checksum, record marshalling).
   void ChargeCpu(Nanos ns) { clock_.Advance(ns); }
@@ -61,6 +67,7 @@ class Env {
  private:
   Clock clock_;
   Rng rng_;
+  obs::Observability obs_{&clock_};
   bool crash_armed_ = false;
   bool crashed_ = false;
   uint64_t crash_countdown_ = 0;

@@ -1,12 +1,21 @@
 #include "src/util/logging.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 namespace pass {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// PASS_LOG_LEVEL is read exactly once, when the level is first consulted,
+// so CI and bench runs can raise verbosity without recompiling.
+LogLevel InitialLevel() {
+  const char* env = std::getenv("PASS_LOG_LEVEL");
+  return env == nullptr ? LogLevel::kWarning
+                        : LogLevelFromName(env, LogLevel::kWarning);
+}
+
+LogLevel g_level = InitialLevel();
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,6 +37,30 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
+
+LogLevel LogLevelFromName(std::string_view name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogLevel::kError;
+  }
+  if (lower == "none" || lower == "4") {
+    return LogLevel::kNone;
+  }
+  return fallback;
+}
 
 namespace internal {
 

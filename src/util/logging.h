@@ -6,6 +6,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace pass {
 
@@ -17,9 +18,15 @@ enum class LogLevel : int {
   kNone = 4,
 };
 
-// Process-global minimum level. Defaults to kWarning.
+// Process-global minimum level. Defaults to kWarning, unless the
+// PASS_LOG_LEVEL environment variable (read once at startup) names another
+// level: "debug" | "info" | "warning" | "error" | "none", or a digit 0-4.
+// SetLogLevel still overrides at runtime.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parse a level name (case-insensitive, or a digit); `fallback` on no match.
+LogLevel LogLevelFromName(std::string_view name, LogLevel fallback);
 
 namespace internal {
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs layer.
+
+Checks, exiting nonzero with a message on the first violation:
+  - the file parses as JSON and has a "traceEvents" list;
+  - every event is a "B" or "E" duration event with name/ts/pid/tid;
+  - per (pid, tid) track, B/E events balance like a stack (an "E" always
+    closes the innermost open "B", names match, no track ends mid-span);
+  - timestamps never decrease along a track and every span has end >= begin;
+  - span ids (carried in B-event args) are unique, and every "parent" arg
+    refers to a span id that exists somewhere in the trace.
+
+Usage: check_trace.py <trace.json>
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('no "traceEvents" list')
+    if not events:
+        fail("trace is empty")
+
+    stacks = {}  # (pid, tid) -> [(name, ts)]
+    last_ts = {}  # (pid, tid) -> ts
+    ids = set()
+    parents = []  # (parent_id, child_name) to check after all ids are known
+    begins = 0
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("B", "E"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        for field in ("name", "ts", "pid", "tid"):
+            if field not in ev:
+                fail(f"event {i}: missing {field!r}")
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if ts < last_ts.get(track, 0):
+            fail(f"event {i}: ts went backwards on track {track}")
+        last_ts[track] = ts
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            begins += 1
+            args = ev.get("args", {})
+            span_id = args.get("id")
+            if span_id is None:
+                fail(f"event {i}: B event without args.id")
+            if span_id in ids:
+                fail(f"event {i}: duplicate span id {span_id}")
+            ids.add(span_id)
+            if args.get("parent", 0):
+                parents.append((args["parent"], ev["name"]))
+            stack.append((ev["name"], ts))
+        else:
+            if not stack:
+                fail(f"event {i}: E event on empty track {track}")
+            name, begin_ts = stack.pop()
+            if name != ev["name"]:
+                fail(f"event {i}: E {ev['name']!r} closes B {name!r}")
+            if ts < begin_ts:
+                fail(f"event {i}: span {name!r} ends before it begins")
+
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"track {track} ends with {len(stack)} unclosed span(s): "
+                 f"{[name for name, _ in stack][:5]}")
+    for parent_id, child in parents:
+        if parent_id not in ids:
+            fail(f"span {child!r} references missing parent {parent_id}")
+
+    print(f"check_trace: OK: {begins} spans across {len(stacks)} tracks, "
+          f"{len(parents)} cross-references resolved")
+
+
+if __name__ == "__main__":
+    main()
