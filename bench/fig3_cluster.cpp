@@ -30,6 +30,7 @@ struct RunResult {
   uint64_t round_trips = 0;
   uint64_t bytes_sent = 0;
   double sync_seconds = 0;
+  double records_per_sec = 0;  // sustained ingest throughput over the sync
   uint64_t query_remote_ops = 0;
   uint64_t query_req_bytes = 0;    // remote request bytes
   uint64_t query_resp_bytes = 0;   // remote response bytes
@@ -58,6 +59,10 @@ RunResult Run(int shards, size_t batch_records) {
   ClusterOptions options;
   options.shards = shards;
   options.ingest_batch_records = batch_records;
+  // This figure isolates the batching-vs-RTT tradeoff, so replication
+  // drains synchronously; bench/fig8_pipeline_ingest sweeps the pipelined
+  // mode against this shape.
+  options.pipelined_replication = false;
   ClusterCoordinator cluster(options);
 
   // Identical workload at every configuration: a lineage chain hopping
@@ -81,6 +86,10 @@ RunResult Run(int shards, size_t batch_records) {
   PASS_CHECK(cluster.Sync().ok());
   out.sync_seconds = cluster.env().clock().seconds() - before;
   out.recovered = cluster.entries_recovered();
+  out.records_per_sec =
+      out.sync_seconds == 0
+          ? 0
+          : static_cast<double>(out.recovered) / out.sync_seconds;
   out.replicated = cluster.ingest_stats().entries_replicated;
   out.round_trips = cluster.ingest_stats().batches_sent;
   out.bytes_sent = cluster.ingest_stats().bytes_sent;
@@ -120,41 +129,42 @@ int main() {
               "federated PQL\n");
   std::printf("(workload: %d-file lineage chain hopping shards round-robin)\n\n",
               kChainFiles);
-  std::printf("%6s %6s | %9s %10s %7s %9s %8s | %9s %9s %9s %6s %6s %6s\n",
+  std::printf("%6s %6s | %9s %10s %7s %9s %8s %8s | %9s %9s %9s %6s %6s "
+              "%6s\n",
               "shards", "batch", "recovered", "replicated", "RTTs",
-              "net-bytes", "sync-s", "query-RPC", "q-remote", "q-local",
-              "hits", "rows", "match");
+              "net-bytes", "sync-s", "rec/sec", "query-RPC", "q-remote",
+              "q-local", "hits", "rows", "match");
 
   // Machine-readable mirror of the table (one line per configuration).
   std::string csv =
       "csv,fig3,shards,batch,recovered,replicated,rtts,net_bytes,sync_s,"
-      "query_rpc,query_req_bytes,query_resp_bytes,query_local_bytes,"
-      "cache_hits,rows,match\n";
+      "records_per_sec,query_rpc,query_req_bytes,query_resp_bytes,"
+      "query_local_bytes,cache_hits,rows,match\n";
   const int kShardCounts[] = {1, 2, 4, 8};
   const size_t kBatchSizes[] = {1, 16, 64, 256};
   for (int shards : kShardCounts) {
     for (size_t batch : kBatchSizes) {
       RunResult r = Run(shards, batch);
-      std::printf("%6d %6zu | %9llu %10llu %7llu %9llu %8.4f | %9llu %9llu "
-                  "%9llu %6llu %6zu %6s\n",
+      std::printf("%6d %6zu | %9llu %10llu %7llu %9llu %8.4f %8.0f | %9llu "
+                  "%9llu %9llu %6llu %6zu %6s\n",
                   shards, batch, (unsigned long long)r.recovered,
                   (unsigned long long)r.replicated,
                   (unsigned long long)r.round_trips,
                   (unsigned long long)r.bytes_sent, r.sync_seconds,
-                  (unsigned long long)r.query_remote_ops,
+                  r.records_per_sec, (unsigned long long)r.query_remote_ops,
                   (unsigned long long)(r.query_req_bytes + r.query_resp_bytes),
                   (unsigned long long)r.query_local_bytes,
                   (unsigned long long)r.query_cache_hits, r.query_rows,
                   r.federated_matches_merged ? "yes" : "NO");
       char line[320];
       std::snprintf(line, sizeof(line),
-                    "csv,fig3,%d,%zu,%llu,%llu,%llu,%llu,%.4f,%llu,%llu,%llu,"
-                    "%llu,%llu,%zu,%s\n",
+                    "csv,fig3,%d,%zu,%llu,%llu,%llu,%llu,%.4f,%.1f,%llu,%llu,"
+                    "%llu,%llu,%llu,%zu,%s\n",
                     shards, batch, (unsigned long long)r.recovered,
                     (unsigned long long)r.replicated,
                     (unsigned long long)r.round_trips,
                     (unsigned long long)r.bytes_sent, r.sync_seconds,
-                    (unsigned long long)r.query_remote_ops,
+                    r.records_per_sec, (unsigned long long)r.query_remote_ops,
                     (unsigned long long)r.query_req_bytes,
                     (unsigned long long)r.query_resp_bytes,
                     (unsigned long long)r.query_local_bytes,

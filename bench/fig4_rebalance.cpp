@@ -13,7 +13,9 @@
 // Machine-readable output: lines beginning with "csv," form two tables —
 //   csv,shard_sizes,phase,shard,records,edges,owned_rows
 //   csv,rebalance,hot_files,threshold,migrations,entries,rtts,bytes,
-//       migrate_s,ratio_before,ratio_after,match
+//       migrate_s,ratio_before,ratio_after,wire_bytes,match
+// where wire_bytes totals every payload byte the ingest queue put on the
+// wire — replication and migration — from the one IngestStats struct.
 
 #include <algorithm>
 #include <cstdio>
@@ -171,17 +173,27 @@ int main(int argc, char** argv) {
               (unsigned long long)migration.bytes, migrate_seconds);
   std::printf("owned-row ratio: %.1f -> %.2f (threshold %.2f)\n",
               skew_before, report.ratio, kThreshold);
+  const auto& ingest = cluster.ingest_stats();
+  std::printf("wire bytes: %llu replication + %llu migration = %llu total\n",
+              (unsigned long long)ingest.bytes_sent,
+              (unsigned long long)ingest.migrate_bytes,
+              (unsigned long long)ingest.wire_bytes());
+  // The unified accounting agrees with the per-migration reports.
+  PASS_CHECK(ingest.migrate_bytes == migration.bytes);
 
   bool match = FederatedMatchesMerged(&cluster, query);
   std::printf("federated ancestry query %s the merged single-db answer\n",
               match ? "matches" : "DOES NOT match");
 
-  std::printf("csv,rebalance,%d,%.2f,%d,%llu,%llu,%llu,%.4f,%.2f,%.2f,%s\n",
+  std::printf("csv,rebalance,%d,%.2f,%d,%llu,%llu,%llu,%.4f,%.2f,%.2f,%llu,"
+              "%s\n",
               hot_files, kThreshold, report.migrations,
               (unsigned long long)migration.entries_shipped,
               (unsigned long long)migrate_trips,
               (unsigned long long)migration.bytes, migrate_seconds,
-              skew_before, report.ratio, match ? "yes" : "no");
+              skew_before, report.ratio,
+              (unsigned long long)ingest.wire_bytes(),
+              match ? "yes" : "no");
 
   // Regression gates (CI runs this binary at small scale).
   PASS_CHECK(report.converged);

@@ -33,9 +33,12 @@ ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
     journals_.push_back(
         std::make_unique<ClusterJournal>(&machines_.back()->basefs()));
   }
+  IngestQueue::Options queue_options;
+  queue_options.batch_records = options.ingest_batch_records;
+  queue_options.pipelined = options.pipelined_replication;
+  queue_options.max_in_flight_batches = options.max_in_flight_batches;
   queue_ = std::make_unique<IngestQueue>(&env_, &net_, &shard_map_,
-                                         std::move(dbs),
-                                         options.ingest_batch_records);
+                                         std::move(dbs), queue_options);
 }
 
 workloads::WorkloadReport ClusterCoordinator::RunWorkload(
@@ -122,6 +125,12 @@ Status ClusterCoordinator::Sync() {
   return Status::Ok();
 }
 
+sim::Nanos ClusterCoordinator::Quiesce() {
+  obs::TraceCollector* trace = &env_.obs().trace();
+  obs::ScopedSpan quiesce_span(trace, "cluster.quiesce");
+  return queue_->Quiesce();
+}
+
 Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   ClusterRecoveryReport report;
   obs::TraceCollector* trace = &env_.obs().trace();
@@ -129,10 +138,14 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   obs::ScopedSpan recover_span(trace, "cluster.recover");
   double start_seconds = env_.clock().seconds();
   env_.ClearCrash();
-  // The pending queues died with the coordinator; journaled batches are the
-  // durable truth.
+  // The pending queues, in-flight transfers, and any buffered (uncommitted)
+  // journal group died with the coordinator; durably committed REPL_BATCH
+  // records are the truth.
   queue_->DropPending();
   queue_->SetJournal(nullptr);
+  for (auto& journal : journals_) {
+    journal->AbortGroup();
+  }
 
   std::vector<JournalState> states;
   states.reserve(machines_.size());
@@ -228,6 +241,9 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   uint64_t recovered_before = entries_recovered_;
   PASS_RETURN_IF_ERROR(Sync());
   report.log_entries_resynced = entries_recovered_ - recovered_before;
+  // Recovery hands back a quiesced cluster: the resync's background
+  // transfers are waited out inside the recovery window.
+  queue_->Quiesce();
 
   {
     obs::ScopedSpan checkpoint_span(trace, "recover.checkpoint");
@@ -274,6 +290,9 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
   {
     obs::ScopedSpan flush_span(trace, "migrate.flush_pending", from);
     queue_->Flush();
+    // Migration reads and rewrites replica state; every in-flight transfer
+    // must have landed (in time as well as in effect) first.
+    queue_->Quiesce();
   }
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
@@ -475,6 +494,9 @@ std::vector<ShardSize> ClusterCoordinator::shard_sizes() const {
 
 FederatedSource ClusterCoordinator::Source(int portal_shard,
                                            size_t cache_bytes) {
+  // The portal must not observe replicas whose transfer is still in flight
+  // without the elapsed time that delivery costs.
+  Quiesce();
   std::vector<const waldo::ProvDb*> dbs;
   dbs.reserve(machines_.size());
   for (const auto& m : machines_) {

@@ -17,7 +17,10 @@
 //     disclose INPUT edges to objects owned by shard A);
 //   * recovers each shard's Lasagna log into the shard-local ProvDb and
 //     pushes cross-shard entries through the batched IngestQueue
-//     (see src/cluster/ingest.h), charging network per batch;
+//     (see src/cluster/ingest.h), charging network per batch — by default
+//     pipelined: batches are acked at the group-committed journal write
+//     and shipped on a background async timeline that only a Quiesce()
+//     barrier (taken by queries, migration, and recovery) waits out;
 //   * migrates pnode ranges between shards (MigrateRange) and rebalances
 //     skewed clusters (Rebalance) without changing query results;
 //   * journals every cross-shard mutation — replication batches and the
@@ -50,6 +53,14 @@ struct ClusterOptions {
   uint64_t seed = 42;
   // Records per cross-shard replication batch; 1 = one RTT per record.
   size_t ingest_batch_records = 64;
+  // Pipelined replication (the default): Sync acks a batch once its
+  // REPL_BATCH record is group-committed, and ships it on the background
+  // async timeline; false restores the sync-drain shape where every Sync
+  // waits for every remote ack inline (bench/fig8's baseline).
+  bool pipelined_replication = true;
+  // Bound on journaled-but-unacknowledged transfers in flight before the
+  // shipper blocks (backpressure).
+  size_t max_in_flight_batches = 16;
   sim::NetParams net_params;
   lasagna::LasagnaOptions lasagna_options;
   core::CycleAlgorithm cycle_algorithm = core::CycleAlgorithm::kCycleAvoidance;
@@ -141,7 +152,20 @@ class ClusterCoordinator {
   // logs are only removed once their batches are journaled, so a crash at
   // any point (sim::Env::CrashAfterOps) is repaired by Recover(); the
   // interrupted call returns Unavailable.
+  //
+  // Under pipelined replication (the default) Sync returns at the
+  // journal-durable point: each shard's batches are group-committed as
+  // REPL_BATCH records in one coalesced journal write and handed to the
+  // background shipper, whose in-flight transfers overlap whatever the
+  // cluster does next. Quiesce() is the barrier that waits them out;
+  // Source(), MigrateRange(), and Recover() take it implicitly.
   Status Sync();
+
+  // Wait until every in-flight replication transfer has completed, charging
+  // only the time not already covered by foreground execution since the
+  // transfers were scheduled. No round trips; a no-op in sync-drain mode
+  // and on a crashed cluster. Returns the nanos charged.
+  sim::Nanos Quiesce();
 
   // Repair the durable state after a coordinator crash, as a restarted
   // coordinator would: clear the crash, drop the volatile pending queues,
@@ -176,7 +200,9 @@ class ClusterCoordinator {
   // Federated query source with the portal on `portal_shard`, wired to the
   // live ShardMap: sources created before a migration route correctly after
   // (and its portal result cache self-invalidates on epoch bumps or shard
-  // mutations). `cache_bytes` bounds that cache; 0 disables it.
+  // mutations). `cache_bytes` bounds that cache; 0 disables it. Takes the
+  // Quiesce() barrier first, so the portal never reads replica state whose
+  // transfer time has not elapsed.
   FederatedSource Source(
       int portal_shard = 0,
       size_t cache_bytes = FederatedSource::kDefaultCacheBytes);
@@ -186,6 +212,10 @@ class ClusterCoordinator {
   void MergeInto(waldo::ProvDb* out) const;
 
   const IngestStats& ingest_stats() const { return queue_->stats(); }
+  // The background replication channel (overlap accounting for benches).
+  const sim::AsyncTimeline& replication_timeline() const {
+    return queue_->timeline();
+  }
   const MigrationStats& migration_stats() const { return migration_stats_; }
   uint64_t entries_recovered() const { return entries_recovered_; }
   const ClusterJournal& journal(int shard) const { return *journals_[shard]; }

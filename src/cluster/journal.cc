@@ -54,17 +54,55 @@ ClusterJournal::ClusterJournal(fs::MemFs* lower, std::string path)
 void ClusterJournal::Append(const JournalRecord& record) {
   std::string frame;
   lasagna::EncodeJournalRecord(&frame, record);
+  if (group_open_) {
+    // Buffered: durable only when the group commits.
+    group_buf_ += frame;
+    ++group_pending_frames_;
+    return;
+  }
+  WriteFrames(frame, 1);
+}
+
+void ClusterJournal::WriteFrames(std::string_view frames, uint64_t count) {
+  if (frames.empty()) {
+    return;
+  }
   if (!lower_->ExistsRaw(path_)) {
     PASS_CHECK(lower_->WriteFileRaw(path_, "").ok());
     size_ = 0;
   }
   auto vnode = lower_->ResolvePath(path_);
   PASS_CHECK(vnode.ok());
-  auto written = (*vnode)->Write(size_, frame);
+  auto written = (*vnode)->Write(size_, frames);
   PASS_CHECK(written.ok());
   size_ += *written;
-  ++records_appended_;
-  bytes_appended_ += frame.size();
+  records_appended_ += count;
+  bytes_appended_ += frames.size();
+}
+
+void ClusterJournal::BeginGroup() {
+  PASS_CHECK(!group_open_);
+  group_open_ = true;
+}
+
+size_t ClusterJournal::CommitGroup() {
+  PASS_CHECK(group_open_);
+  group_open_ = false;
+  size_t frames = static_cast<size_t>(group_pending_frames_);
+  if (frames > 0) {
+    WriteFrames(group_buf_, group_pending_frames_);
+    ++group_commits_;
+    group_frames_ += group_pending_frames_;
+  }
+  group_buf_.clear();
+  group_pending_frames_ = 0;
+  return frames;
+}
+
+void ClusterJournal::AbortGroup() {
+  group_open_ = false;
+  group_buf_.clear();
+  group_pending_frames_ = 0;
 }
 
 uint64_t ClusterJournal::AppendReplBatch(

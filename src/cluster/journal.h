@@ -10,10 +10,13 @@
 // file system (next to its provenance logs, in the same disk zone), and
 //
 //   * the ingest queue appends a REPL_BATCH record — the encoded batch plus
-//     its destination — before charging the network, and a REPL_APPLIED
+//     its destination — before the network sees a byte, and a REPL_APPLIED
 //     record only after the remote apply, so a coordinator crash at any
 //     point can be replayed (the apply path is ProvDb::InsertUnique, which
-//     makes redelivery idempotent);
+//     makes redelivery idempotent). In the pipelined path the REPL_BATCH
+//     records of one sync drain are group-committed: coalesced into a
+//     single disk write, which is the durable point the workload is acked
+//     at (see BeginGroup/CommitGroup below);
 //
 //   * a range migration is a journaled three-phase protocol:
 //     MIGRATE_BEGIN -> EPOCH_BUMP (the ShardMap reassignment, the durable
@@ -30,6 +33,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/object.h"
@@ -89,6 +93,22 @@ class ClusterJournal {
   // Every append reaches the lower file system (a charged write) before it
   // returns: the WAP guarantee, extended to cluster operations.
 
+  // ---- Group commit ----
+  // Appends between BeginGroup() and CommitGroup() coalesce in memory and
+  // reach the disk as ONE write when the group commits, so the per-append
+  // disk charge (journal-zone seek + access overhead) is paid once per
+  // group instead of once per record. Until CommitGroup() returns, none of
+  // the group's records are durable — callers must not ack work that
+  // depends on them. AbortGroup() drops a buffered, uncommitted group (the
+  // crash-recovery path: the buffer died with the process).
+  void BeginGroup();
+  // Returns the number of frames the coalesced write made durable.
+  size_t CommitGroup();
+  void AbortGroup();
+  bool InGroup() const { return group_open_; }
+  uint64_t group_commits() const { return group_commits_; }
+  uint64_t group_frames() const { return group_frames_; }
+
   // Journal a replication batch bound for `destination`; returns its id.
   uint64_t AppendReplBatch(int destination,
                            const std::vector<lasagna::LogEntry>& entries);
@@ -116,6 +136,7 @@ class ClusterJournal {
 
  private:
   void Append(const lasagna::JournalRecord& record);
+  void WriteFrames(std::string_view frames, uint64_t count);
   void Rewrite(const std::vector<lasagna::JournalRecord>& records);
 
   fs::MemFs* lower_;
@@ -124,6 +145,11 @@ class ClusterJournal {
   uint64_t next_batch_id_ = 1;
   uint64_t records_appended_ = 0;
   uint64_t bytes_appended_ = 0;
+  bool group_open_ = false;
+  std::string group_buf_;  // volatile: frames awaiting the coalesced write
+  uint64_t group_pending_frames_ = 0;
+  uint64_t group_commits_ = 0;
+  uint64_t group_frames_ = 0;
 };
 
 }  // namespace pass::cluster

@@ -28,6 +28,18 @@ void Publish(MetricRegistry* registry, const sim::NetStats& stats,
   Set(registry, "net.bytes_received", labels, stats.bytes_received);
 }
 
+void Publish(MetricRegistry* registry, const sim::AsyncStats& stats,
+             Labels labels) {
+  Set(registry, "async.scheduled", labels, stats.scheduled);
+  Set(registry, "async.busy_ns", labels, stats.busy_ns);
+  Set(registry, "async.exposed_ns", labels, stats.exposed_ns);
+  Set(registry, "async.drains", labels, stats.drains);
+  Set(registry, "async.waits", labels, stats.waits);
+  // Scaled fixed-point (gauges are integral): 1000 = fully hidden.
+  registry->GetGauge("async.overlap_permille", labels)
+      .Set(static_cast<int64_t>(stats.overlap_fraction() * 1000.0));
+}
+
 void Publish(MetricRegistry* registry, const lasagna::LasagnaStats& stats,
              Labels labels) {
   Set(registry, "lasagna.pass_writes", labels, stats.pass_writes);
@@ -50,6 +62,13 @@ void Publish(MetricRegistry* registry, const cluster::IngestStats& stats,
       stats.entries_replicated);
   Set(registry, "ingest.batches_sent", labels, stats.batches_sent);
   Set(registry, "ingest.bytes_sent", labels, stats.bytes_sent);
+  Set(registry, "ingest.group_commits", labels, stats.group_commits);
+  Set(registry, "ingest.group_frames", labels, stats.group_frames);
+  Set(registry, "ingest.batches_acked", labels, stats.batches_acked);
+  Set(registry, "ingest.migrate_batches", labels, stats.migrate_batches);
+  Set(registry, "ingest.migrate_bytes", labels, stats.migrate_bytes);
+  Set(registry, "ingest.migrate_entries", labels, stats.migrate_entries);
+  Set(registry, "ingest.wire_bytes", labels, stats.wire_bytes());
 }
 
 void Publish(MetricRegistry* registry, const cluster::FederatedStats& stats,

@@ -16,6 +16,7 @@
 #include "src/cluster/ingest.h"
 #include "src/lasagna/lasagna.h"
 #include "src/obs/metrics.h"
+#include "src/sim/async.h"
 #include "src/sim/disk.h"
 #include "src/sim/net.h"
 
@@ -24,6 +25,8 @@ namespace pass::obs {
 void Publish(MetricRegistry* registry, const sim::DiskStats& stats,
              Labels labels = {});
 void Publish(MetricRegistry* registry, const sim::NetStats& stats,
+             Labels labels = {});
+void Publish(MetricRegistry* registry, const sim::AsyncStats& stats,
              Labels labels = {});
 void Publish(MetricRegistry* registry, const lasagna::LasagnaStats& stats,
              Labels labels = {});

@@ -1,16 +1,36 @@
 #include "src/sim/net.h"
 
+#include "src/sim/async.h"
+
 namespace pass::sim {
 
-void Network::RoundTrip(uint64_t request_bytes, uint64_t response_bytes) {
-  Nanos cost = params_.rtt_ns;
-  cost += static_cast<Nanos>(params_.wire_ns_per_byte *
+namespace {
+
+Nanos ExchangeCost(const NetParams& params, uint64_t request_bytes,
+                   uint64_t response_bytes) {
+  Nanos cost = params.rtt_ns;
+  cost += static_cast<Nanos>(params.wire_ns_per_byte *
                              static_cast<double>(request_bytes +
                                                  response_bytes));
+  return cost;
+}
+
+}  // namespace
+
+void Network::RoundTrip(uint64_t request_bytes, uint64_t response_bytes) {
   ++stats_.round_trips;
   stats_.bytes_sent += request_bytes;
   stats_.bytes_received += response_bytes;
-  clock_->Advance(cost);
+  clock_->Advance(ExchangeCost(params_, request_bytes, response_bytes));
+}
+
+Nanos Network::RoundTripAsync(AsyncTimeline* timeline, uint64_t request_bytes,
+                              uint64_t response_bytes) {
+  ++stats_.round_trips;
+  stats_.bytes_sent += request_bytes;
+  stats_.bytes_received += response_bytes;
+  return timeline->Schedule(
+      ExchangeCost(params_, request_bytes, response_bytes));
 }
 
 }  // namespace pass::sim

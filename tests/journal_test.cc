@@ -20,6 +20,7 @@
 #include "src/lasagna/recovery.h"
 #include "src/pql/eval.h"
 #include "src/pql/provdb_source.h"
+#include "src/sim/disk.h"
 
 namespace pass::cluster {
 namespace {
@@ -203,6 +204,131 @@ TEST_F(ClusterJournalTest, CheckpointKeepsEpochHistoryAndPendingWork) {
 
   // New batch ids keep rising after a checkpoint.
   EXPECT_GT(journal.AppendReplBatch(1, SampleEntries()), pending);
+}
+
+// ---- Group commit -----------------------------------------------------------
+
+TEST_F(ClusterJournalTest, GroupCommitCoalescesAndDefersDurability) {
+  ClusterJournal journal(&lower_);
+  uint64_t solo = journal.AppendReplBatch(1, SampleEntries());
+
+  journal.BeginGroup();
+  EXPECT_TRUE(journal.InGroup());
+  uint64_t first = journal.AppendReplBatch(2, SampleEntries());
+  uint64_t second = journal.AppendReplBatch(0, SampleEntries());
+  journal.AppendReplApplied(solo);
+
+  // Nothing in the open group is durable yet: a scan sees only the solo
+  // batch, still unapplied.
+  auto state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->batches.size(), 1u);
+  EXPECT_EQ(state->batches[0].id, solo);
+  EXPECT_FALSE(state->batches[0].applied);
+
+  EXPECT_EQ(journal.CommitGroup(), 3u);
+  EXPECT_FALSE(journal.InGroup());
+  EXPECT_EQ(journal.group_commits(), 1u);
+  EXPECT_EQ(journal.group_frames(), 3u);
+
+  // The coalesced image parses as the individual records, in order.
+  state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state->truncated);
+  ASSERT_EQ(state->batches.size(), 3u);
+  EXPECT_TRUE(state->batches[0].applied);  // solo's APPLIED rode the group
+  EXPECT_EQ(state->batches[1].id, first);
+  EXPECT_EQ(state->batches[2].id, second);
+  EXPECT_FALSE(state->batches[1].applied);
+  EXPECT_FALSE(state->batches[2].applied);
+}
+
+TEST_F(ClusterJournalTest, EmptyGroupCommitWritesNothing) {
+  ClusterJournal journal(&lower_);
+  journal.BeginGroup();
+  EXPECT_EQ(journal.CommitGroup(), 0u);
+  EXPECT_EQ(journal.group_commits(), 0u);
+  EXPECT_EQ(journal.records_appended(), 0u);
+}
+
+TEST_F(ClusterJournalTest, AbortGroupDropsBufferedFrames) {
+  ClusterJournal journal(&lower_);
+  uint64_t solo = journal.AppendReplBatch(1, SampleEntries());
+  uint64_t appended = journal.records_appended();
+
+  // The recovery path: the buffered group died with the process.
+  journal.BeginGroup();
+  journal.AppendReplBatch(2, SampleEntries());
+  journal.AppendReplApplied(solo);
+  journal.AbortGroup();
+  EXPECT_FALSE(journal.InGroup());
+  EXPECT_EQ(journal.records_appended(), appended);
+
+  auto state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->batches.size(), 1u);
+  EXPECT_FALSE(state->batches[0].applied);
+
+  // The journal keeps working after the abort.
+  journal.BeginGroup();
+  journal.AppendReplApplied(solo);
+  EXPECT_EQ(journal.CommitGroup(), 1u);
+  state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->batches[0].applied);
+}
+
+TEST_F(ClusterJournalTest, GroupCommitIsOneDiskWrite) {
+  // The whole point of group commit: N frames, one charged disk access.
+  sim::Env env(7);
+  sim::Disk disk(&env.clock());
+  sim::DiskZone journal_zone(0, 1 << 20);
+  sim::DiskZone log_zone(1 << 20, 1 << 20);
+  sim::DiskZone data_zone(2 << 20, 1 << 20);
+  fs::MemFs charged(&env, &disk, data_zone, journal_zone, log_zone);
+  ClusterJournal journal(&charged);
+
+  journal.AppendReplBatch(1, SampleEntries());
+  uint64_t solo_writes = disk.stats().writes;
+  EXPECT_GT(solo_writes, 0u);
+
+  journal.BeginGroup();
+  for (int i = 0; i < 8; ++i) {
+    journal.AppendReplBatch(i % 3, SampleEntries());
+  }
+  EXPECT_EQ(disk.stats().writes, solo_writes);  // still buffered
+  EXPECT_EQ(journal.CommitGroup(), 8u);
+  // Eight records cost the same number of disk writes as the one solo
+  // append did.
+  EXPECT_EQ(disk.stats().writes - solo_writes, solo_writes);
+}
+
+// Satellite acceptance: a coalesced multi-frame append cut mid-write must
+// classify like any torn tail — the frames fully on disk survive, the torn
+// one is dropped and flagged.
+TEST_F(ClusterJournalTest, TornGroupCommitKeepsValidFramePrefix) {
+  ClusterJournal journal(&lower_);
+  journal.BeginGroup();
+  uint64_t first = journal.AppendReplBatch(0, SampleEntries());
+  uint64_t second = journal.AppendReplBatch(1, SampleEntries());
+  journal.AppendReplBatch(2, SampleEntries());
+  EXPECT_EQ(journal.CommitGroup(), 3u);
+
+  // The crash tears the single coalesced write inside its third frame.
+  auto image = lower_.ReadFileRaw(journal.path());
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(lower_
+                  .WriteFileRaw(journal.path(),
+                                std::string_view(*image).substr(
+                                    0, image->size() - 5))
+                  .ok());
+
+  auto state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->truncated);
+  ASSERT_EQ(state->batches.size(), 2u);
+  EXPECT_EQ(state->batches[0].id, first);
+  EXPECT_EQ(state->batches[1].id, second);
 }
 
 // ---- Crash-consistency acceptance sweeps ------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/sim/async.h"
 #include "src/sim/clock.h"
 #include "src/sim/disk.h"
 #include "src/sim/env.h"
@@ -124,6 +125,80 @@ TEST(EnvTest, RngSeedFlowsFromEnv) {
   Env a(99);
   Env b(99);
   EXPECT_EQ(a.rng().Next(), b.rng().Next());
+}
+
+TEST(AsyncTimelineTest, ScheduleDoesNotAdvanceClock) {
+  Clock clock;
+  AsyncTimeline timeline(&clock);
+  Nanos done = timeline.Schedule(5 * kMilli);
+  EXPECT_EQ(clock.now(), 0u);
+  EXPECT_EQ(done, 5 * kMilli);
+  EXPECT_EQ(timeline.InFlight(), 1u);
+  EXPECT_EQ(timeline.stats().busy_ns, 5 * kMilli);
+}
+
+TEST(AsyncTimelineTest, ChannelIsSerialized) {
+  // Two transfers on one channel queue back to back, even when both are
+  // scheduled at the same instant.
+  Clock clock;
+  AsyncTimeline timeline(&clock);
+  EXPECT_EQ(timeline.Schedule(kMilli), kMilli);
+  EXPECT_EQ(timeline.Schedule(kMilli), 2 * kMilli);
+  clock.Advance(10 * kMilli);
+  // The channel freed in the past: the next transfer starts now.
+  EXPECT_EQ(timeline.Schedule(kMilli), 11 * kMilli);
+}
+
+TEST(AsyncTimelineTest, ForegroundWorkCoversCompletionsForFree) {
+  Clock clock;
+  AsyncTimeline timeline(&clock);
+  timeline.Schedule(2 * kMilli);
+  // The foreground clock sails past the completion: full overlap.
+  clock.Advance(5 * kMilli);
+  EXPECT_EQ(timeline.InFlight(), 0u);
+  EXPECT_EQ(timeline.Drain(), 0u);
+  EXPECT_EQ(clock.now(), 5 * kMilli);
+  EXPECT_EQ(timeline.stats().exposed_ns, 0u);
+  EXPECT_EQ(timeline.stats().overlap_fraction(), 1.0);
+}
+
+TEST(AsyncTimelineTest, DrainChargesOnlyTheUncoveredRemainder) {
+  Clock clock;
+  AsyncTimeline timeline(&clock);
+  timeline.Schedule(10 * kMilli);
+  clock.Advance(4 * kMilli);  // foreground covers 4 of the 10
+  EXPECT_EQ(timeline.Drain(), 6 * kMilli);
+  EXPECT_EQ(clock.now(), 10 * kMilli);
+  EXPECT_EQ(timeline.stats().exposed_ns, 6 * kMilli);
+  EXPECT_DOUBLE_EQ(timeline.stats().overlap_fraction(), 0.4);
+  EXPECT_EQ(timeline.stats().drains, 1u);
+}
+
+TEST(AsyncTimelineTest, WaitForSlotBlocksAtTheWindow) {
+  Clock clock;
+  AsyncTimeline timeline(&clock);
+  timeline.Schedule(kMilli);
+  timeline.Schedule(kMilli);
+  // Window of 2 is full: the wait advances to the oldest completion.
+  EXPECT_EQ(timeline.WaitForSlot(2), kMilli);
+  EXPECT_EQ(clock.now(), kMilli);
+  EXPECT_EQ(timeline.InFlight(), 1u);
+  EXPECT_EQ(timeline.stats().waits, 1u);
+  // A free slot costs nothing.
+  EXPECT_EQ(timeline.WaitForSlot(2), 0u);
+  EXPECT_EQ(timeline.stats().waits, 1u);
+}
+
+TEST(AsyncTimelineTest, ResetForgetsInFlightWorkWithoutCharging) {
+  Clock clock;
+  AsyncTimeline timeline(&clock);
+  timeline.Schedule(10 * kMilli);
+  timeline.Reset();  // the channel died with a crashed process
+  EXPECT_EQ(timeline.InFlight(), 0u);
+  EXPECT_EQ(timeline.Drain(), 0u);
+  EXPECT_EQ(clock.now(), 0u);
+  // A post-crash schedule starts fresh from the current clock.
+  EXPECT_EQ(timeline.Schedule(kMilli), kMilli);
 }
 
 }  // namespace
