@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/core/libpass.h"
 #include "src/cluster/federated_source.h"
 #include "src/pql/eval.h"
 #include "src/pql/provdb_source.h"
@@ -33,6 +34,12 @@ using pass::cluster::FederatedSource;
 // Gate: at depth >= 48 on >= 4 shards, frontier-shipping + a full cache must
 // cut query RPCs at least this factor below the per-node, cache-off baseline.
 constexpr double kRpcReductionGate = 5.0;
+
+// Churn-phase gate: with steady ingest into a non-portal shard between query
+// rounds, per-entry fingerprint invalidation must cut cache misses at least
+// this factor below the whole-cache-flush baseline (the pre-fingerprint
+// behavior, which drops everything on any mutation and re-fetches the world).
+constexpr double kChurnMissReductionGate = 5.0;
 
 // Adapter hiding an underlying source's batched overrides: the evaluator's
 // FollowMany/AttributeMany calls fall back to the GraphSource defaults,
@@ -98,8 +105,14 @@ struct RunResult {
 // round-robin, synced, then queried for the full ancestry closure of the
 // chain tail — the same query shape fig3 uses, whose FROM binding re-walks
 // shared ancestry from every file and so rewards the portal cache.
+// `spread` stripes the chain over only the first `spread` shards (default
+// all): the churn phase keeps the last shard chain-free so ingest there is
+// pure foreign churn to every cached entry.
 struct Fixture {
-  explicit Fixture(int shards, int depth) {
+  explicit Fixture(int shards, int depth, int spread = 0) {
+    if (spread == 0) {
+      spread = shards;
+    }
     ClusterOptions options;
     options.shards = shards;
     cluster = std::make_unique<ClusterCoordinator>(options);
@@ -109,7 +122,7 @@ struct Fixture {
       if (i > 0) {
         sources.push_back(refs.back());
       }
-      auto ref = cluster->WriteWithLineage(i % shards, "/f" + std::to_string(i),
+      auto ref = cluster->WriteWithLineage(i % spread, "/f" + std::to_string(i),
                                            std::string(256, 'd'), sources);
       PASS_CHECK(ref.ok());
       refs.push_back(*ref);
@@ -166,6 +179,92 @@ struct Fixture {
   std::multiset<std::string> want;
 };
 
+struct ChurnResult {
+  uint64_t entries_total = 0;  // entries the cold warm-up filled
+  uint64_t fine_hits = 0;      // accumulated over the post-churn rounds
+  uint64_t fine_misses = 0;
+  uint64_t fine_invalidated = 0;
+  uint64_t fine_full = 0;
+  uint64_t flush_hits = 0;
+  uint64_t flush_misses = 0;
+  uint64_t flush_full = 0;
+  bool matches_merged = true;
+  double miss_ratio() const {
+    return static_cast<double>(flush_misses) /
+           static_cast<double>(fine_misses == 0 ? 1 : fine_misses);
+  }
+};
+
+// The churn phase: the chain lives on shards 0..shards-2, shard shards-1
+// only absorbs ingest (new provenance rows on one /churn file) between
+// query rounds.
+// Two identically warmed portals answer each round — one with per-entry
+// fingerprint invalidation, one in the legacy whole-cache-flush mode — and
+// the accumulated misses measure how much of the cache each keeps.
+ChurnResult RunChurnPhase(int shards, int depth, size_t cache_bytes,
+                          int rounds) {
+  Fixture fixture(shards, depth, /*spread=*/shards - 1);
+  const int churn_shard = shards - 1;
+  // One churn target, created before warm-up so the working set is fixed:
+  // every round discloses fresh annotation rows onto it, mutating the churn
+  // shard without growing the query's file universe.
+  auto churn_ref = fixture.cluster->WriteWithLineage(
+      churn_shard, "/churn", std::string(64, 'c'), {});
+  PASS_CHECK(churn_ref.ok());
+  pass::workloads::Machine& churn_machine =
+      fixture.cluster->machine(churn_shard);
+  pass::core::LibPass churn_lib =
+      churn_machine.Lib(churn_machine.Spawn("churner"));
+  PASS_CHECK(fixture.cluster->Sync().ok());
+
+  FederatedSource fine = fixture.cluster->Source(/*portal_shard=*/0,
+                                                 cache_bytes);
+  FederatedSource flush = fixture.cluster->Source(/*portal_shard=*/0,
+                                                  cache_bytes);
+  flush.set_whole_cache_invalidation(true);
+  pass::pql::Engine fine_engine(&fine);
+  pass::pql::Engine flush_engine(&flush);
+
+  ChurnResult out;
+  auto warm = fine_engine.Run(fixture.query);
+  PASS_CHECK(warm.ok());
+  PASS_CHECK(Rows(*warm) == fixture.want);
+  out.entries_total = fine.stats().cache_misses - fine.stats().cache_evictions;
+  PASS_CHECK(flush_engine.Run(fixture.query).ok());
+  fine.ResetStats();
+  flush.ResetStats();
+
+  for (int round = 0; round < rounds; ++round) {
+    // Steady foreign ingest: new (unique — ingest dedupes replays via
+    // InsertUnique) annotation rows onto /churn. Only /churn's fingerprint
+    // bucket moves; no cached chain pnode shares it, so the fine source's
+    // collateral is the handful of /churn entries, re-fetched once a round.
+    for (int w = 0; w < 4; ++w) {
+      PASS_CHECK(churn_lib
+                     .WriteRef(*churn_ref,
+                               {pass::core::Record::Annotation(
+                                   "round", static_cast<int64_t>(
+                                                round * 4 + w))})
+                     .ok());
+    }
+    PASS_CHECK(fixture.cluster->Sync().ok());
+    auto fine_result = fine_engine.Run(fixture.query);
+    auto flush_result = flush_engine.Run(fixture.query);
+    PASS_CHECK(fine_result.ok() && flush_result.ok());
+    out.matches_merged = out.matches_merged &&
+                         Rows(*fine_result) == fixture.want &&
+                         Rows(*flush_result) == fixture.want;
+  }
+  out.fine_hits = fine.stats().cache_hits;
+  out.fine_misses = fine.stats().cache_misses;
+  out.fine_invalidated = fine.stats().cache_entries_invalidated;
+  out.fine_full = fine.stats().cache_invalidations_full;
+  out.flush_hits = flush.stats().cache_hits;
+  out.flush_misses = flush.stats().cache_misses;
+  out.flush_full = flush.stats().cache_invalidations_full;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,7 +282,10 @@ int main(int argc, char** argv) {
   std::string csv =
       "csv,fig6,shards,depth,cache_kb,baseline_rpc,query_rpc,req_bytes,"
       "resp_bytes,local_bytes,hits,misses,evictions,hit_rate,ratio,rows,"
-      "match,warm_rpc,warm_hits\n";
+      "match,warm_rpc,warm_hits\n"
+      "csv,fig6churn,shards,depth,rounds,entries_total,fine_hits,fine_misses,"
+      "fine_invalidated,fine_full_flushes,flush_hits,flush_misses,"
+      "flush_full_flushes,miss_ratio,match\n";
   const int kShardCounts[] = {2, 4, 8};
   const int kDepths[] = {4, 16, 48, 96};
   const size_t kCacheBytes[] = {0, 2u << 10, 1u << 20};
@@ -234,6 +336,48 @@ int main(int argc, char** argv) {
         // cache must beat the per-node baseline by the gate factor.
         if (shards >= 4 && depth >= 48 && cache_bytes >= (1u << 20)) {
           PASS_CHECK(ratio >= kRpcReductionGate);
+        }
+      }
+      // Churn phase (own fixture: the last shard stays chain-free). Skipped
+      // at 2 shards, where a chain off the churn shard would be all-local.
+      if (shards >= 4) {
+        const int kChurnRounds = 6;
+        ChurnResult churn =
+            RunChurnPhase(shards, depth, /*cache_bytes=*/1u << 20,
+                          kChurnRounds);
+        PASS_CHECK(churn.matches_merged);
+        std::printf("%6d %6d churn(x%d): entries=%llu invalidated=%llu "
+                    "fine-miss=%llu flush-miss=%llu ratio=%.1fx\n",
+                    shards, depth, kChurnRounds,
+                    (unsigned long long)churn.entries_total,
+                    (unsigned long long)churn.fine_invalidated,
+                    (unsigned long long)churn.fine_misses,
+                    (unsigned long long)churn.flush_misses,
+                    churn.miss_ratio());
+        char line[320];
+        std::snprintf(line, sizeof(line),
+                      "csv,fig6churn,%d,%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,"
+                      "%llu,%llu,%.2f,%s\n",
+                      shards, depth, kChurnRounds,
+                      (unsigned long long)churn.entries_total,
+                      (unsigned long long)churn.fine_hits,
+                      (unsigned long long)churn.fine_misses,
+                      (unsigned long long)churn.fine_invalidated,
+                      (unsigned long long)churn.fine_full,
+                      (unsigned long long)churn.flush_hits,
+                      (unsigned long long)churn.flush_misses,
+                      (unsigned long long)churn.flush_full,
+                      churn.miss_ratio(),
+                      churn.matches_merged ? "yes" : "no");
+        csv += line;
+        // Fine-grained invalidation never full-flushes on churn and drops
+        // only the churn file's own entries; the legacy mode re-fetches the
+        // world every round. Deep configurations gate the miss reduction.
+        PASS_CHECK(churn.fine_full == 0);
+        PASS_CHECK(churn.flush_full > 0);
+        if (depth >= 48) {
+          PASS_CHECK(churn.miss_ratio() >= kChurnMissReductionGate);
+          PASS_CHECK(churn.fine_invalidated * 2 < churn.entries_total);
         }
       }
     }

@@ -131,6 +131,43 @@ sim::Nanos ClusterCoordinator::Quiesce() {
   return queue_->Quiesce();
 }
 
+void ClusterCoordinator::PinEpoch(uint64_t epoch) {
+  pinned_epochs_.insert(epoch);
+}
+
+void ClusterCoordinator::UnpinEpoch(uint64_t epoch) {
+  auto it = pinned_epochs_.find(epoch);
+  if (it != pinned_epochs_.end()) {
+    pinned_epochs_.erase(it);  // one pin, not every session at this epoch
+  }
+  RetireEligible();
+}
+
+uint64_t ClusterCoordinator::min_pinned_epoch() const {
+  return pinned_epochs_.empty() ? UINT64_MAX : *pinned_epochs_.begin();
+}
+
+uint64_t ClusterCoordinator::RetireEligible() {
+  uint64_t rows = 0;
+  uint64_t min_pin = min_pinned_epoch();
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (min_pin < it->epoch) {
+      ++it;  // a session pinned before this bump still reads the source
+      continue;
+    }
+    obs::ScopedSpan retire_span(&env_.obs().trace(), "migrate.retire",
+                                it->from);
+    uint64_t deleted =
+        machines_[it->from]->db()->DeleteRange(it->range.begin, it->range.end);
+    journals_[it->from]->AppendMigrateCommit(it->migration_id);
+    migration_stats_.rows_deleted += deleted;
+    rows += deleted;
+    env_.obs().metrics().GetCounter("portal.retirements_completed").Add();
+    it = deferred_.erase(it);
+  }
+  return rows;
+}
+
 Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   ClusterRecoveryReport report;
   obs::TraceCollector* trace = &env_.obs().trace();
@@ -146,6 +183,11 @@ Result<ClusterRecoveryReport> ClusterCoordinator::Recover() {
   for (auto& journal : journals_) {
     journal->AbortGroup();
   }
+  // Pinned sessions and their deferred retirements died with the
+  // coordinator; the journal roll-forward below finishes any deferred
+  // delete (its migration is bumped-but-uncommitted on disk).
+  pinned_epochs_.clear();
+  deferred_.clear();
 
   std::vector<JournalState> states;
   states.reserve(machines_.size());
@@ -343,14 +385,26 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
   report.batches = shipped.batches;
   report.bytes = shipped.bytes;
 
-  // Phase 3 — delete the moved rows, then commit.
-  obs::ScopedSpan commit_span(trace, "migrate.commit", from);
-  report.rows_deleted = source->DeleteRange(range.begin, range.end);
-  if (env_.MaybeCrash()) {
-    return Unavailable("migrate: coordinator crashed");
+  // Phase 3 — delete the moved rows, then commit. A portal session pinned
+  // to a pre-bump epoch still routes this range to the source shard, so
+  // while such pins exist the delete (and the COMMIT that closes the
+  // migration) is deferred; UnpinEpoch retires it. The journal state is the
+  // ordinary bumped-but-uncommitted shape, so a crash in the window is
+  // rolled forward by Recover() like any other.
+  if (min_pinned_epoch() < shard_map_.epoch()) {
+    obs::ScopedSpan defer_span(trace, "migrate.defer_retirement", from);
+    deferred_.push_back(
+        DeferredRetirement{from, range, migration_id, shard_map_.epoch()});
+    env_.obs().metrics().GetCounter("portal.retirements_deferred").Add();
+  } else {
+    obs::ScopedSpan commit_span(trace, "migrate.commit", from);
+    report.rows_deleted = source->DeleteRange(range.begin, range.end);
+    if (env_.MaybeCrash()) {
+      return Unavailable("migrate: coordinator crashed");
+    }
+    journal->AppendMigrateCommit(migration_id);
+    commit_span.End();
   }
-  journal->AppendMigrateCommit(migration_id);
-  commit_span.End();
   migrate_span.End();
   obs::MetricRegistry& metrics = env_.obs().metrics();
   metrics.GetCounter("cluster.migrations").Add();
@@ -492,17 +546,21 @@ std::vector<ShardSize> ClusterCoordinator::shard_sizes() const {
   return out;
 }
 
-FederatedSource ClusterCoordinator::Source(int portal_shard,
-                                           size_t cache_bytes) {
-  // The portal must not observe replicas whose transfer is still in flight
-  // without the elapsed time that delivery costs.
-  Quiesce();
+std::vector<const waldo::ProvDb*> ClusterCoordinator::shard_dbs() const {
   std::vector<const waldo::ProvDb*> dbs;
   dbs.reserve(machines_.size());
   for (const auto& m : machines_) {
     dbs.push_back(m->db());
   }
-  return FederatedSource(std::move(dbs), &net_, &shard_map_, portal_shard,
+  return dbs;
+}
+
+FederatedSource ClusterCoordinator::Source(int portal_shard,
+                                           size_t cache_bytes) {
+  // The portal must not observe replicas whose transfer is still in flight
+  // without the elapsed time that delivery costs.
+  Quiesce();
+  return FederatedSource(shard_dbs(), &net_, &shard_map_, portal_shard,
                          cache_bytes, &env_.obs());
 }
 

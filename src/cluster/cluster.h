@@ -33,7 +33,9 @@
 //     they survive later migrations — and a merged single-database view
 //     for equivalence checks.
 
+#include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -199,13 +201,34 @@ class ClusterCoordinator {
 
   // Federated query source with the portal on `portal_shard`, wired to the
   // live ShardMap: sources created before a migration route correctly after
-  // (and its portal result cache self-invalidates on epoch bumps or shard
-  // mutations). `cache_bytes` bounds that cache; 0 disables it. Takes the
-  // Quiesce() barrier first, so the portal never reads replica state whose
-  // transfer time has not elapsed.
+  // (and its portal result cache self-invalidates, entry by entry, when a
+  // range's fingerprint moves or its owner changes). `cache_bytes` bounds
+  // that cache; 0 disables it. Takes the Quiesce() barrier first, so the
+  // portal never reads replica state whose transfer time has not elapsed.
   FederatedSource Source(
       int portal_shard = 0,
       size_t cache_bytes = FederatedSource::kDefaultCacheBytes);
+
+  // Shard databases in shard order (what Source() wires up) — for callers
+  // like the portal tier that build FederatedSources over snapshot maps.
+  std::vector<const waldo::ProvDb*> shard_dbs() const;
+
+  // ---- Epoch pinning (portal sessions) ------------------------------------
+  // A PortalSession captures a ShardMap snapshot at open and pins its epoch
+  // here. While any pin predates a migration's epoch bump, that migration's
+  // source-side DeleteRange (and its MIGRATE_COMMIT record) is *deferred*:
+  // the pinned snapshot still routes the range to the source shard, which
+  // therefore must keep answering for it. Releasing the last such pin
+  // retires the deferred deletes. A crash forgets pins and deferrals alike;
+  // Recover()'s roll-forward finishes the delete from the journal, exactly
+  // as for any bumped-but-uncommitted migration (pinned sessions die with
+  // the coordinator).
+  void PinEpoch(uint64_t epoch);
+  void UnpinEpoch(uint64_t epoch);
+  // Smallest pinned epoch; UINT64_MAX when nothing is pinned.
+  uint64_t min_pinned_epoch() const;
+  // Source-side deletes currently held back by pins (bench/test surface).
+  size_t deferred_retirements() const { return deferred_.size(); }
 
   // Replay every shard's (ShardMap-owned) entries into `out`: the database
   // a single un-sharded machine would have built. For equivalence checks.
@@ -221,6 +244,18 @@ class ClusterCoordinator {
   const ClusterJournal& journal(int shard) const { return *journals_[shard]; }
 
  private:
+  // One migration's source-side delete held back by an epoch pin.
+  struct DeferredRetirement {
+    int from = -1;
+    core::PnodeRange range;
+    uint64_t migration_id = 0;
+    uint64_t epoch = 0;  // the migration's bump; retire once pins reach it
+  };
+
+  // Run every deferred delete whose blocking pins have released, appending
+  // the MIGRATE_COMMIT that closes its migration. Returns rows deleted.
+  uint64_t RetireEligible();
+
   ClusterOptions options_;
   sim::Env env_;
   sim::Network net_;
@@ -232,6 +267,8 @@ class ClusterCoordinator {
   MigrationStats migration_stats_;
   uint64_t entries_recovered_ = 0;
   uint64_t next_migration_id_ = 1;
+  std::multiset<uint64_t> pinned_epochs_;
+  std::vector<DeferredRetirement> deferred_;
 };
 
 }  // namespace pass::cluster

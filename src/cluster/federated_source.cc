@@ -80,23 +80,70 @@ pql::Node FederatedSource::Latest(const waldo::ProvDb& db,
 
 // ---- Portal result cache ----------------------------------------------------
 
+void FederatedSource::ClearCache() const {
+  cache_.clear();
+  lru_.clear();
+  cache_bytes_ = 0;
+  cache_filled_ = false;
+}
+
+void FederatedSource::EraseEntry(
+    std::map<CacheKey, CacheEntry>::iterator it) const {
+  cache_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru);
+  cache_.erase(it);
+}
+
 void FederatedSource::ValidateCache() const {
-  uint64_t mutations = 0;
-  for (const waldo::ProvDb* db : shards_) {
-    mutations += db->mutation_count();
-  }
   uint64_t epoch = map_->epoch();
-  if (epoch != cache_epoch_ || mutations != cache_mutations_) {
-    if (cache_filled_) {
-      ++stats_.cache_invalidations;
+  if (whole_cache_) {
+    // Legacy baseline: any epoch movement or any mutation anywhere in the
+    // cluster drops everything.
+    uint64_t mutations = 0;
+    for (const waldo::ProvDb* db : shards_) {
+      mutations += db->mutation_count();
     }
-    cache_.clear();
-    lru_.clear();
-    cache_bytes_ = 0;
-    cache_filled_ = false;
-    cache_epoch_ = epoch;
-    cache_mutations_ = mutations;
+    if (epoch != cache_epoch_ || mutations != cache_mutations_) {
+      if (cache_filled_) {
+        ++stats_.cache_invalidations_full;
+      }
+      ClearCache();
+      cache_epoch_ = epoch;
+      cache_mutations_ = mutations;
+    }
+    return;
   }
+  if (epoch == cache_epoch_) {
+    return;
+  }
+  if (epoch < cache_epoch_) {
+    // The map was Reset (coordinator rebuild): its history restarted, so
+    // there is nothing to diff the cache against — drop everything.
+    if (cache_filled_) {
+      ++stats_.cache_invalidations_full;
+    }
+    ClearCache();
+    cache_epoch_ = epoch;
+    return;
+  }
+  // Epoch moved forward: only entries whose range actually changed owner
+  // since the last validation can hold stale routing. The key order (pnode
+  // first) makes each reassigned range one contiguous scan.
+  for (const core::PnodeRange& range : map_->ChangesSince(cache_epoch_)) {
+    auto it = cache_.lower_bound(CacheKey{range.begin, 0, false, 0});
+    while (it != cache_.end() && it->first.pnode < range.end) {
+      auto victim = it++;
+      EraseEntry(victim);
+      ++stats_.cache_entries_invalidated;
+    }
+  }
+  cache_epoch_ = epoch;
+}
+
+uint32_t FederatedSource::InternAttr(const std::string& attr) const {
+  auto [it, inserted] =
+      attr_ids_.try_emplace(attr, static_cast<uint32_t>(attr_ids_.size()) + 1);
+  return it->second;
 }
 
 const FederatedSource::CacheEntry* FederatedSource::CacheLookup(
@@ -105,13 +152,28 @@ const FederatedSource::CacheEntry* FederatedSource::CacheLookup(
   if (it == cache_.end()) {
     return nullptr;
   }
+  if (!whole_cache_) {
+    // Revalidate exactly this entry: the filling shard's fingerprint for
+    // the entry's own pnode bucket. (ValidateCache already dropped entries
+    // whose range changed owner, so the filling shard is still the owner.)
+    const CacheEntry& entry = it->second;
+    if (shards_[entry.shard]->range_mutation_count(key.pnode) !=
+        entry.fingerprint) {
+      EraseEntry(it);
+      ++stats_.cache_entries_invalidated;
+      return nullptr;
+    }
+  }
   lru_.splice(lru_.begin(), lru_, it->second.lru);
   ++stats_.cache_hits;
   return &it->second;
 }
 
-void FederatedSource::CacheInsert(CacheKey key, CacheEntry entry) const {
-  entry.bytes = kPerNodeRequestBytes + key.attr.size() +
+void FederatedSource::CacheInsert(CacheKey key, CacheEntry entry,
+                                  int shard) const {
+  entry.shard = shard;
+  entry.fingerprint = shards_[shard]->range_mutation_count(key.pnode);
+  entry.bytes = kPerNodeRequestBytes + sizeof(key.attr_id) +
                 kPerRowResponseBytes * entry.nodes.size() +
                 ValueSetBytes(entry.values);
   if (entry.bytes > cache_capacity_) {
@@ -183,6 +245,7 @@ std::vector<pql::ValueSet> FederatedSource::AttributeMany(
   obs::ScopedSpan hop_span(Tracer(), "query.attr_hop");
   std::string want = Lower(attr);
   ValidateCache();
+  uint32_t attr_id = InternAttr(want);  // once per hop, never per node
   // Virtual and portal-local attributes answer immediately; cached remote
   // ones fill from the cache; the rest group by owning shard.
   std::map<int, std::vector<size_t>> by_shard;
@@ -200,7 +263,7 @@ std::vector<pql::ValueSet> FederatedSource::AttributeMany(
       continue;  // no owner: empty attribute set
     }
     if (const CacheEntry* entry = CacheLookup(
-            CacheKey{nodes[i].pnode, 0, false, want})) {
+            CacheKey{nodes[i].pnode, 0, false, attr_id})) {
       out[i] = entry->values;
       continue;
     }
@@ -237,8 +300,8 @@ std::vector<pql::ValueSet> FederatedSource::AttributeMany(
       response_bytes += ValueSetBytes(values);
       if (shard != portal_shard_) {
         ++stats_.cache_misses;
-        CacheInsert(CacheKey{pnodes[j], 0, false, want},
-                    CacheEntry{{}, values, 0, {}});
+        CacheInsert(CacheKey{pnodes[j], 0, false, attr_id},
+                    CacheEntry{{}, values, 0, 0, 0, {}}, shard);
       }
       out[indexes[j]] = std::move(values);
     }
@@ -282,7 +345,7 @@ std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
       continue;  // no owner: no edges
     }
     if (const CacheEntry* entry = CacheLookup(
-            CacheKey{nodes[i].pnode, nodes[i].version, inverse, ""})) {
+            CacheKey{nodes[i].pnode, nodes[i].version, inverse, 0})) {
       out[i] = entry->nodes;
       continue;
     }
@@ -310,8 +373,8 @@ std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
       if (shard != portal_shard_) {
         ++stats_.cache_misses;
         CacheInsert(
-            CacheKey{refs[j].pnode, refs[j].version, inverse, ""},
-            CacheEntry{results[j], {}, 0, {}});
+            CacheKey{refs[j].pnode, refs[j].version, inverse, 0},
+            CacheEntry{results[j], {}, 0, 0, 0, {}}, shard);
       }
       out[indexes[j]] = std::move(results[j]);
     }

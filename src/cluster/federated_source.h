@@ -20,10 +20,15 @@
 //
 //   * A portal result cache: a byte-bounded LRU over per-node edge lists
 //     and attribute sets, so overlapping traversals fetch each node once.
-//     Every cache operation first validates a fingerprint of the ShardMap
-//     epoch and the shards' ProvDb::mutation_count() sum; a migration or
-//     rebalance (epoch bump) or any ingest invalidates the whole cache, so
-//     stale ownership or data is never served.
+//     Invalidation is per-entry: each entry remembers the shard it was
+//     filled from and that shard's per-range mutation fingerprint
+//     (ProvDb::range_mutation_count over power-of-two pnode buckets), and a
+//     lookup revalidates only that fingerprint — ingest into shard 3 does
+//     not evict entries homed on shard 0. ShardMap epoch bumps consult the
+//     map's epoch-change history and drop only entries whose range actually
+//     changed owner. Stale ownership or data is never served, but unrelated
+//     churn no longer flushes the cache (set_whole_cache_invalidation(true)
+//     restores the old drop-everything behavior as a bench baseline).
 //
 // Provided the cross-shard ingest queue has replicated foreign-subject
 // records and foreign-ancestor edges (see src/cluster/ingest.h), a query
@@ -58,7 +63,12 @@ struct FederatedStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
-  uint64_t cache_invalidations = 0;  // whole-cache clears (epoch/mutation)
+  // Invalidation accounting, split by blast radius: full clears (the map
+  // was rebuilt, or every clear in whole-cache compatibility mode) vs
+  // individual entries dropped because their own range's fingerprint moved
+  // or their range changed owner.
+  uint64_t cache_invalidations_full = 0;
+  uint64_t cache_entries_invalidated = 0;
 };
 
 class FederatedSource : public pql::GraphSource {
@@ -102,6 +112,10 @@ class FederatedSource : public pql::GraphSource {
   std::string NodeLabel(const pql::Node& node) const override;
 
   const FederatedStats& stats() const { return stats_; }
+  // Compatibility baseline for benches: drop the whole cache whenever the
+  // ShardMap epoch or the sum of all shards' mutation_count() moves — the
+  // pre-fingerprint behavior whose hit ratio collapses under ingest churn.
+  void set_whole_cache_invalidation(bool on) { whole_cache_ = on; }
   // Uniform with Disk/Net/Lasagna/IngestQueue: zero the counters so benches
   // can measure phases (the cache itself is untouched — only the counters
   // reset, so a warm-cache phase reports pure-hit numbers).
@@ -110,19 +124,30 @@ class FederatedSource : public pql::GraphSource {
   size_t cache_capacity() const { return cache_capacity_; }
 
  private:
+  friend class FederatedSourceTestPeer;  // zero-alloc probe assertions
+
   // One cached lookup result: the edge list of (pnode, version, direction)
-  // or the attribute set of (pnode, attr).
+  // or the attribute set of (pnode, attr). Attribute names are interned to
+  // small ids (InternAttr) so building a probe key on the lookup hot path
+  // never allocates. Ordered by pnode first, so invalidating a migrated
+  // pnode range is one contiguous map scan.
   struct CacheKey {
     core::PnodeId pnode = 0;
     core::Version version = 0;  // 0 for attribute entries (object-level)
     bool inverse = false;
-    std::string attr;  // empty for edge entries
+    uint32_t attr_id = 0;  // 0 for edge entries; interned attr otherwise
     auto operator<=>(const CacheKey&) const = default;
   };
   struct CacheEntry {
     std::vector<pql::Node> nodes;
     pql::ValueSet values;
     uint64_t bytes = 0;
+    // Provenance of the entry itself: the shard it was fetched from and
+    // that shard's range fingerprint at fill time. A lookup revalidates by
+    // re-reading the fingerprint — cheap, allocation-free, and local to the
+    // entry's own pnode bucket.
+    int shard = 0;
+    uint64_t fingerprint = 0;
     std::list<CacheKey>::iterator lru;
   };
 
@@ -143,11 +168,18 @@ class FederatedSource : public pql::GraphSource {
   // Record one hop's sim-clock latency into "query.hop_ns"{op=...}.
   void RecordHop(const char* op, sim::Nanos start_ns) const;
 
-  // Drop the whole cache when the ShardMap epoch or any shard's database
-  // changed since it was filled; cheap no-op otherwise.
+  // Reconcile the cache with the ShardMap epoch: entries in ranges the
+  // epoch-change history says were reassigned since the last validation are
+  // dropped; everything else survives. (Whole-cache mode: any epoch or
+  // mutation-sum movement clears everything, the legacy behavior.)
   void ValidateCache() const;
+  // Small-id intern table for attribute names; allocation happens only the
+  // first time a name is seen, never on a probe.
+  uint32_t InternAttr(const std::string& attr) const;
   const CacheEntry* CacheLookup(const CacheKey& key) const;
-  void CacheInsert(CacheKey key, CacheEntry entry) const;
+  void CacheInsert(CacheKey key, CacheEntry entry, int shard) const;
+  void EraseEntry(std::map<CacheKey, CacheEntry>::iterator it) const;
+  void ClearCache() const;
 
   std::vector<const waldo::ProvDb*> shards_;
   sim::Network* net_;
@@ -155,12 +187,14 @@ class FederatedSource : public pql::GraphSource {
   int portal_shard_;
   size_t cache_capacity_;
   obs::Observability* obs_ = nullptr;
+  bool whole_cache_ = false;  // legacy flush-everything baseline mode
   mutable FederatedStats stats_;
   mutable std::map<CacheKey, CacheEntry> cache_;
   mutable std::list<CacheKey> lru_;  // front = most recently used
+  mutable std::map<std::string, uint32_t> attr_ids_;  // interned attr names
   mutable size_t cache_bytes_ = 0;
   mutable uint64_t cache_epoch_ = 0;
-  mutable uint64_t cache_mutations_ = 0;
+  mutable uint64_t cache_mutations_ = 0;  // whole-cache mode only
   mutable bool cache_filled_ = false;
 };
 

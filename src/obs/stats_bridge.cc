@@ -83,8 +83,10 @@ void Publish(MetricRegistry* registry, const cluster::FederatedStats& stats,
   Set(registry, "federated.cache_hits", labels, stats.cache_hits);
   Set(registry, "federated.cache_misses", labels, stats.cache_misses);
   Set(registry, "federated.cache_evictions", labels, stats.cache_evictions);
-  Set(registry, "federated.cache_invalidations", labels,
-      stats.cache_invalidations);
+  Set(registry, "federated.cache_invalidations_full", labels,
+      stats.cache_invalidations_full);
+  Set(registry, "federated.cache_entries_invalidated", labels,
+      stats.cache_entries_invalidated);
 }
 
 void Publish(MetricRegistry* registry, const cluster::MigrationStats& stats,
@@ -95,6 +97,18 @@ void Publish(MetricRegistry* registry, const cluster::MigrationStats& stats,
   Set(registry, "migration.batches", labels, stats.batches);
   Set(registry, "migration.bytes", labels, stats.bytes);
   Set(registry, "migration.rows_deleted", labels, stats.rows_deleted);
+}
+
+void Publish(MetricRegistry* registry,
+             const cluster::PortalAdmissionStats& stats, Labels labels) {
+  Set(registry, "portal.admission.admitted", labels, stats.admitted);
+  Set(registry, "portal.admission.rejected_quota", labels,
+      stats.rejected_quota);
+  Set(registry, "portal.admission.rejected_budget", labels,
+      stats.rejected_budget);
+  Set(registry, "portal.admission.queued", labels, stats.queued);
+  Set(registry, "portal.admission.admitted_from_queue", labels,
+      stats.admitted_from_queue);
 }
 
 }  // namespace pass::obs

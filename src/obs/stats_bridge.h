@@ -14,6 +14,7 @@
 #include "src/cluster/cluster.h"
 #include "src/cluster/federated_source.h"
 #include "src/cluster/ingest.h"
+#include "src/cluster/portal.h"
 #include "src/lasagna/lasagna.h"
 #include "src/obs/metrics.h"
 #include "src/sim/async.h"
@@ -36,6 +37,8 @@ void Publish(MetricRegistry* registry, const cluster::FederatedStats& stats,
              Labels labels = {});
 void Publish(MetricRegistry* registry, const cluster::MigrationStats& stats,
              Labels labels = {});
+void Publish(MetricRegistry* registry,
+             const cluster::PortalAdmissionStats& stats, Labels labels = {});
 
 }  // namespace pass::obs
 

@@ -33,6 +33,9 @@ void ProvDb::Insert(const lasagna::LogEntry& entry) {
     if (ancestor == nullptr) {
       return;
     }
+    // Forward row keys by the subject, reverse row by the ancestor.
+    ++range_mutations_[RangeBucketOf(subject.pnode)];
+    ++range_mutations_[RangeBucketOf(ancestor->pnode)];
     inputs_[subject].push_back(*ancestor);
     input_set_[subject].insert(*ancestor);
     outputs_[*ancestor].push_back(subject);
@@ -45,6 +48,7 @@ void ProvDb::Insert(const lasagna::LogEntry& entry) {
   }
 
   // Attribute record.
+  ++range_mutations_[RangeBucketOf(subject.pnode)];
   std::string encoded;
   core::EncodeRecord(&encoded, record);
   records_.Put(RefKey('r', subject), encoded);
@@ -204,12 +208,14 @@ bool ProvDb::InsertUnique(const lasagna::LogEntry& entry) {
     versions_[subject.pnode].insert(subject.version);
     versions_[ancestor->pnode].insert(ancestor->version);
     if (!have_forward) {
+      ++range_mutations_[RangeBucketOf(subject.pnode)];
       inputs_[subject].push_back(*ancestor);
       input_set_[subject].insert(*ancestor);
       indexes_.Put(RefKey('i', subject), EncodeRef(*ancestor));
       ++edge_count_;  // edge_count_ counts forward rows
     }
     if (!have_reverse) {
+      ++range_mutations_[RangeBucketOf(ancestor->pnode)];
       outputs_[*ancestor].push_back(subject);
       output_set_[*ancestor].insert(subject);
       indexes_.Put(RefKey('o', *ancestor), EncodeRef(subject));
@@ -275,6 +281,9 @@ uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {
   // need rewriting below.
   std::set<std::string> touched_names;
   std::set<std::string> touched_types;
+  // Buckets whose keyed rows this delete removes; bumped once each below so
+  // per-range fingerprints move only where rows actually vanished.
+  std::set<uint64_t> touched_buckets;
   for (auto it = attrs_.lower_bound(lo);
        it != attrs_.end() && it->first.pnode < end;) {
     for (const core::Record& record : it->second) {
@@ -289,6 +298,7 @@ uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {
     records_.Delete(RefKey('r', it->first));
     removed += it->second.size();
     record_count_ -= it->second.size();
+    touched_buckets.insert(RangeBucketOf(it->first.pnode));
     it = attrs_.erase(it);
   }
   // edge_count_ tracks forward rows only; the paired reverse row of a fully
@@ -298,12 +308,14 @@ uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {
     indexes_.Delete(RefKey('i', it->first));
     removed += it->second.size();
     edge_count_ -= it->second.size();
+    touched_buckets.insert(RangeBucketOf(it->first.pnode));
     it = inputs_.erase(it);
   }
   for (auto it = outputs_.lower_bound(lo);
        it != outputs_.end() && it->first.pnode < end;) {
     indexes_.Delete(RefKey('o', it->first));
     removed += it->second.size();
+    touched_buckets.insert(RangeBucketOf(it->first.pnode));
     it = outputs_.erase(it);
   }
   versions_.erase(versions_.lower_bound(begin), versions_.upper_bound(end - 1));
@@ -334,6 +346,9 @@ uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {
   prune(by_type_, 't', touched_types);
   if (removed > 0) {
     ++mutation_count_;
+    for (uint64_t bucket : touched_buckets) {
+      ++range_mutations_[bucket];
+    }
   }
   return removed;
 }

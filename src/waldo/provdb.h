@@ -111,6 +111,27 @@ class ProvDb {
   // this to detect that their entries may be stale.
   uint64_t mutation_count() const { return mutation_count_; }
 
+  // ---- Per-range mutation fingerprints -------------------------------------
+  // The whole-database mutation_count() makes any ingest look like it could
+  // have changed any cached row. These counters refine it: the pnode space is
+  // carved into power-of-two buckets of 2^kRangeBucketBits pnodes, and every
+  // mutation bumps the bucket of each pnode that *keys* a touched row (the
+  // subject of an attribute record or forward edge, the ancestor of a reverse
+  // row). A cached per-node result is stale iff the bucket of its keying
+  // pnode moved, so the federated portal invalidates exactly the entries
+  // whose range actually changed.
+  static constexpr int kRangeBucketBits = 6;  // 64 pnodes per bucket
+
+  static constexpr uint64_t RangeBucketOf(core::PnodeId pnode) {
+    return pnode >> kRangeBucketBits;
+  }
+
+  // Mutation counter of the bucket holding `pnode` (0 = never touched).
+  uint64_t range_mutation_count(core::PnodeId pnode) const {
+    auto it = range_mutations_.find(RangeBucketOf(pnode));
+    return it == range_mutations_.end() ? 0 : it->second;
+  }
+
   ProvDbStats stats() const;
 
   // Persist the database as its two KvStore images / rebuild it from them.
@@ -152,6 +173,9 @@ class ProvDb {
   uint64_t record_count_ = 0;
   uint64_t edge_count_ = 0;
   uint64_t mutation_count_ = 0;
+  // bucket id (pnode >> kRangeBucketBits) -> mutations touching rows keyed
+  // by a pnode in that bucket.
+  std::map<uint64_t, uint64_t> range_mutations_;
 };
 
 }  // namespace pass::waldo

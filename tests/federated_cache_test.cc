@@ -1,11 +1,13 @@
 // Tests for the federated query portal: frontier-shipped RPCs and the
 // byte-bounded portal result cache, including its invalidation contract —
-// a ShardMap epoch bump (migration/rebalance) or any shard mutation must
-// drop every cached entry, so the portal can never serve stale ownership
-// or stale data.
+// every cached entry carries its owner shard's per-range mutation
+// fingerprint, and lookups revalidate it, so the portal can never serve
+// stale ownership or stale data while churn elsewhere leaves entries warm.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
 #include <set>
 #include <string>
 #include <vector>
@@ -15,7 +17,54 @@
 #include "src/pql/eval.h"
 #include "src/pql/provdb_source.h"
 
+// Binary-wide counting allocator: the zero-alloc probe test asserts the
+// warm cache-lookup path never reaches operator new. malloc stays the
+// backing store, so sanitizer interception keeps working. (GCC flags
+// free() of these pointers as mismatched because it cannot see through the
+// replacement; the pairing is correct.)
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+uint64_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace pass::cluster {
+
+// Reaches the private cache internals so tests can drive the exact probe
+// sequence AttributeMany/FollowMany use, without network or evaluator noise.
+class FederatedSourceTestPeer {
+ public:
+  explicit FederatedSourceTestPeer(FederatedSource* source)
+      : source_(source) {}
+  uint32_t Intern(const std::string& attr) { return source_->InternAttr(attr); }
+  void Validate() { source_->ValidateCache(); }
+  bool ProbeAttr(core::PnodeId pnode, uint32_t attr_id) {
+    return source_->CacheLookup(
+               FederatedSource::CacheKey{pnode, 0, false, attr_id}) != nullptr;
+  }
+  bool ProbeEdges(const core::ObjectRef& ref, bool inverse) {
+    return source_->CacheLookup(FederatedSource::CacheKey{
+               ref.pnode, ref.version, inverse, 0}) != nullptr;
+  }
+
+ private:
+  FederatedSource* source_;
+};
+
 namespace {
 
 ClusterOptions SmallCluster(int shards) {
@@ -25,16 +74,20 @@ ClusterOptions SmallCluster(int shards) {
   return options;
 }
 
+// Chain /f0 -> /f1 -> ... striped round-robin over the first `spread`
+// shards (all of them by default).
 std::vector<core::ObjectRef> BuildCrossShardChain(ClusterCoordinator* cluster,
-                                                  int files) {
+                                                  int files, int spread = 0) {
+  if (spread == 0) {
+    spread = cluster->shard_count();
+  }
   std::vector<core::ObjectRef> refs;
   for (int i = 0; i < files; ++i) {
     std::vector<core::ObjectRef> sources;
     if (i > 0) {
       sources.push_back(refs.back());
     }
-    auto ref = cluster->WriteWithLineage(i % cluster->shard_count(),
-                                         "/f" + std::to_string(i),
+    auto ref = cluster->WriteWithLineage(i % spread, "/f" + std::to_string(i),
                                          "payload", sources);
     EXPECT_TRUE(ref.ok()) << ref.status().ToString();
     refs.push_back(*ref);
@@ -109,21 +162,24 @@ TEST(FederatedCacheTest, MigrationInvalidatesWarmCacheAndReRoutes) {
   auto before = RunQuery(&source, kTailClosure);
   EXPECT_EQ(before, MergedAnswer(&cluster, kTailClosure));
   EXPECT_GT(source.cache_bytes_used(), 0u);
-  uint64_t invalidations = source.stats().cache_invalidations;
+  uint64_t invalidated = source.stats().cache_entries_invalidated;
   uint64_t epoch = cluster.shard_map().epoch();
 
-  // Move the range holding /f4 and /f8 (shard 0's space) to shard 3.
-  core::PnodeRange range{refs[4].pnode, refs[8].pnode + 1};
+  // Move the range holding /f5 (shard 1's space — a *remote* pnode whose
+  // edge list and name set the portal cached) to shard 3.
+  core::PnodeRange range{refs[5].pnode, refs[5].pnode + 1};
   ASSERT_TRUE(cluster.MigrateRange(range, 3).ok());
   EXPECT_GT(cluster.shard_map().epoch(), epoch);  // epoch observed to bump
-  EXPECT_EQ(cluster.OwnerOf(refs[4].pnode), 3);
+  EXPECT_EQ(cluster.OwnerOf(refs[5].pnode), 3);
 
-  // Same source object, post-migration: the warm cache is dropped and the
-  // query re-routes through the live map to the new owner.
+  // Same source object, post-migration: entries in the migrated range are
+  // dropped (and only those — no full flush) and the query re-routes
+  // through the live map to the new owner.
   auto after = RunQuery(&source, kTailClosure);
   EXPECT_EQ(after, before);
   EXPECT_EQ(after, MergedAnswer(&cluster, kTailClosure));
-  EXPECT_GT(source.stats().cache_invalidations, invalidations);
+  EXPECT_GT(source.stats().cache_entries_invalidated, invalidated);
+  EXPECT_EQ(source.stats().cache_invalidations_full, 0u);
 }
 
 TEST(FederatedCacheTest, IngestInvalidatesStaleEdgeLists) {
@@ -176,6 +232,98 @@ TEST(FederatedCacheTest, ZeroBudgetDisablesCaching) {
   EXPECT_EQ(got, MergedAnswer(&cluster, kTailClosure));
   EXPECT_EQ(source.stats().cache_hits, 0u);
   EXPECT_EQ(source.cache_bytes_used(), 0u);
+}
+
+// Tentpole acceptance: ingest that only touches a foreign shard must leave
+// the portal's warm entries alone — the fingerprint check is per entry, so
+// unrelated churn costs nothing. The legacy whole-cache mode drops
+// everything on the same churn (the baseline fig9 measures against).
+TEST(FederatedCacheTest, ForeignShardIngestKeepsWarmEntries) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  // Chain over shards 0-2 only: shard 3 is pure churn, so no cached pnode
+  // shares a fingerprint bucket with the churn writes.
+  BuildCrossShardChain(&cluster, 12, /*spread=*/3);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource fine = cluster.Source(/*portal_shard=*/0);
+  FederatedSource flush = cluster.Source(/*portal_shard=*/0);
+  flush.set_whole_cache_invalidation(true);
+  auto before = RunQuery(&fine, kTailClosure);
+  EXPECT_EQ(before, RunQuery(&flush, kTailClosure));
+
+  // Churn: new lineage-free files on shard 3 only. The chain's pnodes and
+  // rows are untouched; only shard 3 buckets outside the chain move.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        cluster.WriteWithLineage(3, "/churn" + std::to_string(i), "x", {})
+            .ok());
+  }
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  fine.ResetStats();
+  flush.ResetStats();
+  auto fine_after = RunQuery(&fine, kTailClosure);
+  auto flush_after = RunQuery(&flush, kTailClosure);
+  EXPECT_EQ(fine_after, before);
+  EXPECT_EQ(flush_after, before);
+  // Fine-grained: the warm entries survived — no invalidation of either
+  // kind, and strictly fewer misses than the flushed baseline.
+  EXPECT_EQ(fine.stats().cache_entries_invalidated, 0u);
+  EXPECT_EQ(fine.stats().cache_invalidations_full, 0u);
+  EXPECT_GT(flush.stats().cache_invalidations_full, 0u);
+  EXPECT_LT(fine.stats().cache_misses, flush.stats().cache_misses);
+}
+
+// Ingest that *does* mutate a cached pnode's rows must drop exactly that
+// entry via its fingerprint, even with no epoch bump anywhere.
+TEST(FederatedCacheTest, FingerprintCatchesMutationOfCachedRange) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  auto a = cluster.WriteWithLineage(0, "/a", "aaa", {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  const std::string descendants =
+      "select D from Provenance.file as F F.~input* as D "
+      "where F.name = \"/a\"";
+  FederatedSource source = cluster.Source(/*portal_shard=*/1);
+  auto before = RunQuery(&source, descendants);
+  EXPECT_EQ(before.size(), 1u);
+
+  // /b descends from /a: replication inserts a reverse-index row keyed by
+  // /a's pnode on shard 0, moving its bucket fingerprint.
+  ASSERT_TRUE(cluster.WriteWithLineage(1, "/b", "bbb", {*a}).ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+  auto after = RunQuery(&source, descendants);
+  EXPECT_EQ(after.size(), 2u);
+  EXPECT_EQ(after, MergedAnswer(&cluster, descendants));
+  EXPECT_GT(source.stats().cache_entries_invalidated, 0u);
+  EXPECT_EQ(source.stats().cache_invalidations_full, 0u);
+}
+
+// Satellite acceptance: probing a warm cache allocates nothing — the
+// CacheKey is flat (interned attr id, no strings), the fingerprint check
+// is a map lookup, and the LRU update is a splice.
+TEST(FederatedCacheTest, WarmCacheProbesAreAllocationFree) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  auto refs = BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  FederatedSource source = cluster.Source(/*portal_shard=*/0);
+  RunQuery(&source, kTailClosure);  // warm every edge list + name set
+  FederatedSourceTestPeer peer(&source);
+  uint32_t name_id = peer.Intern("name");  // intern outside the counted loop
+  uint64_t hits_before = source.stats().cache_hits;
+
+  uint64_t allocs_before = g_heap_allocs;
+  for (int round = 0; round < 8; ++round) {
+    peer.Validate();
+    for (const auto& ref : refs) {
+      peer.ProbeAttr(ref.pnode, name_id);
+      peer.ProbeEdges(ref, /*inverse=*/false);
+    }
+  }
+  EXPECT_EQ(g_heap_allocs, allocs_before);
+  EXPECT_GT(source.stats().cache_hits, hits_before);
 }
 
 TEST(FederatedCacheTest, CachedAndUncachedByteAccountingBalance) {

@@ -506,5 +506,58 @@ TEST_F(WaldoTest, MultipleRotationsAllIngested) {
   EXPECT_GE(db_.RecordsOf({file->pnode(), 0}).size(), 20u);
 }
 
+// Per-range mutation fingerprints: every row keyed into a 64-pnode bucket
+// bumps that bucket's counter, and only that bucket's — the federated
+// cache's per-entry revalidation depends on untouched buckets staying put.
+TEST(ProvDbTest, RangeFingerprintsTrackMutationsPerBucket) {
+  ProvDb db;
+  EXPECT_EQ(db.range_mutation_count(10), 0u);
+  db.Insert(Entry({10, 0}, core::Record::Name("/a")));
+  // 10 and 63 share bucket 0; 64 starts bucket 1.
+  EXPECT_EQ(db.range_mutation_count(10), 1u);
+  EXPECT_EQ(db.range_mutation_count(63), 1u);
+  EXPECT_EQ(db.range_mutation_count(64), 0u);
+  // An edge bumps both endpoints' buckets: the reverse-index row under the
+  // ancestor is as much a mutation of its range as the forward row.
+  db.Insert(Entry({70, 0}, core::Record::Input({10, 0})));
+  EXPECT_EQ(db.range_mutation_count(70), 1u);
+  EXPECT_EQ(db.range_mutation_count(10), 2u);
+}
+
+TEST(ProvDbTest, RangeFingerprintIgnoresDuplicateInsertUnique) {
+  ProvDb db;
+  EXPECT_TRUE(db.InsertUnique(Entry({10, 0}, core::Record::Name("/a"))));
+  uint64_t after_first = db.range_mutation_count(10);
+  EXPECT_GT(after_first, 0u);
+  // A replayed row is not a mutation: redelivered ingest batches must not
+  // shake warm cache entries loose.
+  EXPECT_FALSE(db.InsertUnique(Entry({10, 0}, core::Record::Name("/a"))));
+  EXPECT_EQ(db.range_mutation_count(10), after_first);
+  EXPECT_TRUE(db.InsertUnique(Entry({10, 0}, core::Record::Name("/b"))));
+  EXPECT_GT(db.range_mutation_count(10), after_first);
+}
+
+TEST(ProvDbTest, DeleteRangeBumpsOnlyTouchedBuckets) {
+  // RangeDb's pnodes (10-12, 50) all share bucket 0; the far subject must
+  // sit past pnode 63 to own a bucket of its own.
+  ProvDb db;
+  db.Insert(Entry({10, 0}, core::Record::Name("/a")));
+  db.Insert(Entry({11, 0}, core::Record::Input({10, 0})));
+  db.Insert(Entry({200, 0}, core::Record::Name("/far")));
+  db.Insert(Entry({200, 0}, core::Record::Input({11, 0})));
+  uint64_t near = db.range_mutation_count(10);
+  uint64_t far = db.range_mutation_count(200);
+  EXPECT_GT(db.DeleteRange(10, 64), 0u);
+  EXPECT_GT(db.range_mutation_count(10), near);
+  // Every deleted row was keyed in [10, 64) — all bucket 0, including the
+  // 11 <- 200 reverse row. Pnode 200's rows survive (even its forward edge
+  // into the range), so its bucket must not move.
+  EXPECT_EQ(db.range_mutation_count(200), far);
+  // Deleting an already-empty range is not a mutation anywhere.
+  uint64_t settled = db.range_mutation_count(10);
+  EXPECT_EQ(db.DeleteRange(10, 64), 0u);
+  EXPECT_EQ(db.range_mutation_count(10), settled);
+}
+
 }  // namespace
 }  // namespace pass::waldo
