@@ -340,6 +340,32 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
     return Unavailable("migrate: coordinator crashed");
   }
 
+  // A deferred retirement pending on the destination shard would later run
+  // its DeleteRange over rows this migration is about to ship there —
+  // destroying data the destination legitimately owns again. The re-ship
+  // below makes the destination's copy of the overlap live, so the deferral
+  // is *cancelled*: its MIGRATE_COMMIT is journaled without the delete
+  // (durably, before this migration's BEGIN, so Recover() can never roll
+  // the stale delete forward either). Deferred rows outside this
+  // migration's range linger on the destination as unowned replicas —
+  // harmless, like any entries_skipped copy: queries route by ShardMap and
+  // MergeInto filters by owner.
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    bool overlaps = it->from == to_shard && it->range.begin < range.end &&
+                    range.begin < it->range.end;
+    if (!overlaps) {
+      ++it;
+      continue;
+    }
+    obs::ScopedSpan cancel_span(trace, "migrate.cancel_retirement", it->from);
+    journals_[it->from]->AppendMigrateCommit(it->migration_id);
+    env_.obs().metrics().GetCounter("portal.retirements_cancelled").Add();
+    it = deferred_.erase(it);
+  }
+  if (env_.MaybeCrash()) {
+    return Unavailable("migrate: coordinator crashed");
+  }
+
   // Phase 1 — intent. A crash after only this record is an aborted
   // migration: routing never changed, every row is still on the source.
   uint64_t migration_id = next_migration_id_++;

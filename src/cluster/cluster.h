@@ -219,7 +219,11 @@ class ClusterCoordinator {
   // source-side DeleteRange (and its MIGRATE_COMMIT record) is *deferred*:
   // the pinned snapshot still routes the range to the source shard, which
   // therefore must keep answering for it. Releasing the last such pin
-  // retires the deferred deletes. A crash forgets pins and deferrals alike;
+  // retires the deferred deletes. Migrating a range back onto a shard with
+  // an overlapping deferred delete *cancels* that deferral (its migration
+  // is committed without the delete): the re-ship makes the shard's copy
+  // live again, and the stale delete would otherwise destroy rows the
+  // shard now owns. A crash forgets pins and deferrals alike;
   // Recover()'s roll-forward finishes the delete from the journal, exactly
   // as for any bumped-but-uncommitted migration (pinned sessions die with
   // the coordinator).

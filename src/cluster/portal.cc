@@ -112,10 +112,14 @@ Status PortalTier::Close(uint64_t session_id) {
     return NotFound("no such portal session");
   }
   reserved_ -= it->second->cache_bytes();
+  // Two 0-byte sessions of one tenant: closing the first erases the entry
+  // at zero, so the second close finds nothing left to release.
   auto tenant_it = reserved_by_tenant_.find(it->second->tenant());
-  tenant_it->second -= it->second->cache_bytes();
-  if (tenant_it->second == 0) {
-    reserved_by_tenant_.erase(tenant_it);
+  if (tenant_it != reserved_by_tenant_.end()) {
+    tenant_it->second -= it->second->cache_bytes();
+    if (tenant_it->second == 0) {
+      reserved_by_tenant_.erase(tenant_it);
+    }
   }
   sessions_.erase(it);  // dtor unpins; may trigger deferred retirements
 

@@ -17,10 +17,15 @@
 //     source-side delete until the last pre-bump pin releases (see
 //     ClusterCoordinator::PinEpoch), so a pinned session's answers still
 //     equal the merged database. RePin() re-captures the live map, releases
-//     the old pin, and lets deferred retirements run. New data still
-//     reaches a pinned session (pinning freezes routing, not time): its
-//     cache revalidates per-range fingerprints against the live shard
-//     databases like any portal.
+//     the old pin, and lets deferred retirements run. Pinning freezes
+//     routing, not time: for ranges whose owner is unchanged since the
+//     pin, new data still reaches the session (its cache revalidates
+//     per-range fingerprints against the live shard databases like any
+//     portal). Ingest into a range migrated *after* the pin, however,
+//     lands on the new owner while the session keeps reading the deferred
+//     source copy — so session == merged database holds only absent ingest
+//     into ranges migrated while the pin is held; RePin() catches the
+//     session up.
 //
 //   * Per-tenant budgets + admission control. The tier has a total cache
 //     byte budget; each tenant can be capped by a quota. Opening a session

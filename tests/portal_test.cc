@@ -164,6 +164,77 @@ TEST(PortalSessionTest, ClosingSessionRetiresDeferredDeletes) {
   EXPECT_EQ(Rows(*result), MergedAnswer(&cluster, kTailClosure));
 }
 
+// Regression: a deferred source-side delete must not fire after a later
+// migration moves the range *back* onto that shard — the re-ship makes the
+// shard's copy live again, so the stale deferral is cancelled (committed
+// without the delete), not left to destroy rows the shard now owns.
+TEST(PortalSessionTest, MigratingBackCancelsOverlappingDeferredDelete) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  auto refs = BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  PortalTier tier(&cluster);
+  auto opened = tier.Open();
+  ASSERT_TRUE(opened.ok());
+  PortalSession* session = *opened;
+  auto before = SessionAnswer(session, kTailClosure);
+  ASSERT_EQ(before, MergedAnswer(&cluster, kTailClosure));
+
+  core::PnodeRange range{refs[5].pnode, refs[5].pnode + 1};
+  int home = cluster.OwnerOf(refs[5].pnode);
+  ASSERT_TRUE(cluster.MigrateRange(range, 3).ok());
+  ASSERT_EQ(cluster.deferred_retirements(), 1u);
+
+  // Move the range straight back while the pin still holds the first
+  // migration's delete. The first deferral is cancelled; the second
+  // migration's own delete (on shard 3) defers in its place.
+  ASSERT_TRUE(cluster.MigrateRange(range, home).ok());
+  EXPECT_EQ(cluster.OwnerOf(refs[5].pnode), home);
+  EXPECT_EQ(cluster.deferred_retirements(), 1u);
+
+  // Release the pin: retirement may only delete shard 3's copy, never the
+  // rows shard `home` owns again.
+  session->RePin();
+  EXPECT_EQ(cluster.deferred_retirements(), 0u);
+  auto after = SessionAnswer(session, kTailClosure);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(after, MergedAnswer(&cluster, kTailClosure));
+}
+
+// Same scenario through a crash: the cancelled migration is committed on
+// disk before the re-ship begins, so Recover()'s roll-forward must not run
+// its delete either.
+TEST(PortalSessionTest, RecoveryAfterMigrateBackKeepsReShippedRows) {
+  ClusterCoordinator cluster(SmallCluster(4));
+  auto refs = BuildCrossShardChain(&cluster, 12);
+  ASSERT_TRUE(cluster.Sync().ok());
+  auto merged_before = MergedAnswer(&cluster, kTailClosure);
+
+  PortalTier tier(&cluster);
+  auto opened = tier.Open();
+  ASSERT_TRUE(opened.ok());
+  uint64_t id = (*opened)->id();
+  core::PnodeRange range{refs[5].pnode, refs[5].pnode + 1};
+  int home = cluster.OwnerOf(refs[5].pnode);
+  ASSERT_TRUE(cluster.MigrateRange(range, 3).ok());
+  ASSERT_TRUE(cluster.MigrateRange(range, home).ok());
+
+  // Recover() forgets pins and deferrals and replays the journals; only the
+  // still-open second migration may roll its delete forward (on shard 3).
+  auto report = cluster.Recover();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(cluster.deferred_retirements(), 0u);
+  EXPECT_EQ(cluster.OwnerOf(refs[5].pnode), home);
+
+  FederatedSource source = cluster.Source();
+  pql::Engine engine(&source);
+  auto result = engine.Run(kTailClosure);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Rows(*result), merged_before);
+  EXPECT_EQ(Rows(*result), MergedAnswer(&cluster, kTailClosure));
+  ASSERT_TRUE(tier.Close(id).ok());  // pre-crash session just unpins cleanly
+}
+
 // A session's cache survives RePin: only entries whose range was reassigned
 // since the old pin drop; the rest keep their bytes.
 TEST(PortalSessionTest, RePinKeepsUnaffectedCacheEntries) {
@@ -259,6 +330,25 @@ TEST(PortalTierTest, BudgetExhaustionQueuesThenAdmitsOnClose) {
   EXPECT_EQ(stats.admitted_from_queue, 1u);
   EXPECT_EQ(stats.queued, 1u);
   EXPECT_EQ(stats.rejected_budget, 1u);
+}
+
+// Regression: cache_bytes == 0 is a valid (cache-disabling) reservation;
+// closing the second of two 0-byte sessions must not touch an already
+// erased tenant ledger entry.
+TEST(PortalTierTest, ZeroByteSessionsCloseCleanly) {
+  ClusterCoordinator cluster(SmallCluster(2));
+  PortalTier tier(&cluster);
+  PortalSessionOptions zero;
+  zero.cache_bytes = 0;
+  auto a = tier.Open(zero);
+  auto b = tier.Open(zero);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(tier.Close((*a)->id()).ok());
+  ASSERT_TRUE(tier.Close((*b)->id()).ok());
+  EXPECT_EQ(tier.open_sessions(), 0u);
+  EXPECT_EQ(tier.bytes_reserved(), 0u);
+  EXPECT_EQ(tier.tenant_bytes_reserved("default"), 0u);
 }
 
 TEST(PortalTierTest, MetricsSurfaceSessionsAndAdmission) {
