@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "src/lasagna/recovery.h"
+#include "src/util/encode.h"
+#include "src/util/md5.h"
 #include "src/obs/obs.h"
 #include "src/util/logging.h"
 
@@ -380,20 +382,23 @@ Result<MigrationReport> ClusterCoordinator::MigrateRange(core::PnodeRange range,
 
   // Phase 2 — the point of no return. Once the epoch bump is durable the
   // map routes the range to the destination, and recovery must (and will)
-  // roll the copy and delete forward.
+  // roll the copy and delete forward. The bump doubles as the custody
+  // record: it seals the source's content digest of the range, so the
+  // destination shard inherits a commitment to the rows it receives.
+  waldo::ProvDb* source = machines_[from]->db();
   obs::ScopedSpan bump_span(trace, "migrate.epoch_bump", from);
   PASS_RETURN_IF_ERROR(shard_map_.Assign(range, to_shard));
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
-  journal->AppendEpochBump(shard_map_.epoch(), migration_id, range, to_shard);
+  journal->AppendEpochBump(shard_map_.epoch(), migration_id, range, to_shard,
+                           source->ContentHashOfRange(range.begin, range.end));
   bump_span.End();
   if (env_.MaybeCrash()) {
     return Unavailable("migrate: coordinator crashed");
   }
 
   // Copy: idempotent through InsertUnique, so recovery may re-ship.
-  waldo::ProvDb* source = machines_[from]->db();
   obs::ScopedSpan copy_span(trace, "migrate.copy", from);
   std::vector<lasagna::LogEntry> entries =
       source->EntriesInRange(range.begin, range.end);
@@ -588,6 +593,64 @@ FederatedSource ClusterCoordinator::Source(int portal_shard,
   Quiesce();
   return FederatedSource(shard_dbs(), &net_, &shard_map_, portal_shard,
                          cache_bytes, &env_.obs());
+}
+
+EpochDigest ClusterCoordinator::ComputeEpochDigest() {
+  // In-flight replication mutates replica rows; the barrier makes the
+  // digest a function of settled state only.
+  Quiesce();
+  EpochDigest digest;
+  digest.epoch = shard_map_.epoch();
+  digest.shards.resize(machines_.size());
+  for (size_t shard = 0; shard < machines_.size(); ++shard) {
+    ShardDigest& sd = digest.shards[shard];
+    sd.shard = static_cast<int>(shard);
+    sd.journal_head = journals_[shard]->chain_head();
+    sd.journal_frames = journals_[shard]->chain_frames();
+  }
+  for (const auto& [range, owner] : shard_map_.Assignments()) {
+    ShardDigest& sd = digest.shards[owner];
+    Md5Digest content =
+        machines_[owner]->db()->ContentHashOfRange(range.begin, range.end);
+    for (size_t i = 0; i < sd.ranges_digest.size(); ++i) {
+      sd.ranges_digest[i] ^= content[i];
+    }
+    ++sd.owned_ranges;
+  }
+  for (ShardDigest& sd : digest.shards) {
+    std::string leaf;
+    leaf.append(reinterpret_cast<const char*>(sd.journal_head.data()),
+                sd.journal_head.size());
+    leaf.append(reinterpret_cast<const char*>(sd.ranges_digest.data()),
+                sd.ranges_digest.size());
+    PutU64(&leaf, digest.epoch);
+    sd.digest = Md5::Hash(leaf);
+  }
+  // Pairwise Merkle reduction; an odd node is promoted unhashed.
+  std::vector<Md5Digest> level;
+  level.reserve(digest.shards.size());
+  for (const ShardDigest& sd : digest.shards) {
+    level.push_back(sd.digest);
+  }
+  while (level.size() > 1) {
+    std::vector<Md5Digest> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      std::string pair;
+      pair.append(reinterpret_cast<const char*>(level[i].data()),
+                  level[i].size());
+      pair.append(reinterpret_cast<const char*>(level[i + 1].data()),
+                  level[i + 1].size());
+      next.push_back(Md5::Hash(pair));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+  }
+  if (!level.empty()) {
+    digest.root = level[0];
+  }
+  return digest;
 }
 
 void ClusterCoordinator::MergeInto(waldo::ProvDb* out) const {

@@ -105,6 +105,28 @@ struct RebalanceReport {
   bool converged = false;
 };
 
+// ---- Epoch digest (audit plane) ---------------------------------------------
+// A Merkle-style commitment to the whole cluster's provenance state at one
+// ShardMap epoch. Per shard: the journal hash-chain head (commits to every
+// journaled cross-shard operation) folded with the content hashes of the
+// ranges the ShardMap assigns to that shard and the epoch itself. The root
+// reduces the shard digests pairwise, so two clusters agree on the root iff
+// they agree on every shard's journal history and owned rows.
+struct ShardDigest {
+  int shard = -1;
+  lasagna::ChainHash journal_head{};  // writer-side chain head
+  uint64_t journal_frames = 0;
+  Md5Digest ranges_digest{};  // XOR fold of owned-range content hashes
+  uint64_t owned_ranges = 0;
+  Md5Digest digest{};  // MD5(journal_head || ranges_digest || epoch)
+};
+
+struct EpochDigest {
+  uint64_t epoch = 0;
+  std::vector<ShardDigest> shards;
+  Md5Digest root{};  // pairwise Merkle reduction over shard digests
+};
+
 // What Recover() found and repaired after a coordinator crash.
 struct ClusterRecoveryReport {
   uint64_t journals_scanned = 0;
@@ -233,6 +255,11 @@ class ClusterCoordinator {
   uint64_t min_pinned_epoch() const;
   // Source-side deletes currently held back by pins (bench/test surface).
   size_t deferred_retirements() const { return deferred_.size(); }
+
+  // Commitment to the cluster's current state (see EpochDigest above).
+  // Takes the Quiesce() barrier first so in-flight replication cannot make
+  // two back-to-back digests of an idle cluster disagree.
+  EpochDigest ComputeEpochDigest();
 
   // Replay every shard's (ShardMap-owned) entries into `out`: the database
   // a single un-sharded machine would have built. For equivalence checks.

@@ -29,18 +29,27 @@ std::string EncodeRangePayload(core::PnodeRange range) {
   return payload;
 }
 
+void AppendDigest(std::string* payload, const Md5Digest& digest) {
+  payload->append(reinterpret_cast<const char*>(digest.data()),
+                  digest.size());
+}
+
 }  // namespace
 
 ClusterJournal::ClusterJournal(fs::MemFs* lower, std::string path)
     : lower_(lower), path_(std::move(path)) {
   if (lower_->ExistsRaw(path_)) {
-    // Restarted over an existing image: continue the id sequence past it.
+    // Restarted over an existing image: continue the id sequence past it
+    // and re-fold the hash chain over the valid prefix.
     auto image = lower_->ReadFileRaw(path_);
     if (image.ok()) {
       size_ = image->size();
       bool truncated = false;
-      auto records = lasagna::ParseJournal(*image, &truncated);
+      lasagna::FrameScanInfo scan;
+      auto records = lasagna::ParseJournal(*image, &truncated, &scan);
       if (records.ok()) {
+        chain_head_ = scan.chain_head;
+        chain_frames_ = scan.frames;
         for (const JournalRecord& record : *records) {
           if (record.type == JournalRecordType::kReplBatch) {
             next_batch_id_ = std::max(next_batch_id_, record.id + 1);
@@ -53,13 +62,17 @@ ClusterJournal::ClusterJournal(fs::MemFs* lower, std::string path)
 
 void ClusterJournal::Append(const JournalRecord& record) {
   std::string frame;
-  lasagna::EncodeJournalRecord(&frame, record);
   if (group_open_) {
-    // Buffered: durable only when the group commits.
+    // Buffered: durable only when the group commits, so only the staged
+    // chain advances here.
+    lasagna::EncodeJournalRecord(&frame, record, &staged_chain_);
+    ++staged_frames_;
     group_buf_ += frame;
     ++group_pending_frames_;
     return;
   }
+  lasagna::EncodeJournalRecord(&frame, record, &chain_head_);
+  ++chain_frames_;
   WriteFrames(frame, 1);
 }
 
@@ -83,6 +96,8 @@ void ClusterJournal::WriteFrames(std::string_view frames, uint64_t count) {
 void ClusterJournal::BeginGroup() {
   PASS_CHECK(!group_open_);
   group_open_ = true;
+  staged_chain_ = chain_head_;
+  staged_frames_ = chain_frames_;
 }
 
 size_t ClusterJournal::CommitGroup() {
@@ -93,6 +108,9 @@ size_t ClusterJournal::CommitGroup() {
     WriteFrames(group_buf_, group_pending_frames_);
     ++group_commits_;
     group_frames_ += group_pending_frames_;
+    // The coalesced write is durable: the staged chain becomes the head.
+    chain_head_ = staged_chain_;
+    chain_frames_ = staged_frames_;
   }
   group_buf_.clear();
   group_pending_frames_ = 0;
@@ -103,6 +121,10 @@ void ClusterJournal::AbortGroup() {
   group_open_ = false;
   group_buf_.clear();
   group_pending_frames_ = 0;
+  // The buffered frames never reached the disk; the staged chain dies with
+  // them and the head still describes the durable image.
+  staged_chain_ = chain_head_;
+  staged_frames_ = chain_frames_;
 }
 
 uint64_t ClusterJournal::AppendReplBatch(
@@ -128,11 +150,16 @@ void ClusterJournal::AppendMigrateBegin(uint64_t migration_id,
 }
 
 void ClusterJournal::AppendEpochBump(uint64_t epoch, uint64_t migration_id,
-                                     core::PnodeRange range, int to_shard) {
+                                     core::PnodeRange range, int to_shard,
+                                     const Md5Digest& range_digest) {
   std::string payload;
   PutU64(&payload, migration_id);
   payload.append(EncodeRangePayload(range));
   PutU32(&payload, static_cast<uint32_t>(to_shard));
+  // Custody record: the chain head *before* this frame (it commits to every
+  // earlier frame) plus the content digest of the range being handed over.
+  AppendDigest(&payload, group_open_ ? staged_chain_ : chain_head_);
+  AppendDigest(&payload, range_digest);
   Append(JournalRecord{JournalRecordType::kEpochBump, epoch,
                        std::move(payload)});
 }
@@ -142,7 +169,12 @@ void ClusterJournal::AppendMigrateCopied(uint64_t migration_id) {
 }
 
 void ClusterJournal::AppendMigrateCommit(uint64_t migration_id) {
-  Append(JournalRecord{JournalRecordType::kMigrateCommit, migration_id, ""});
+  // Pin the chain position at which this journal's source rows were
+  // deleted; an auditor replaying the chain can place the hand-off.
+  std::string payload;
+  AppendDigest(&payload, group_open_ ? staged_chain_ : chain_head_);
+  Append(JournalRecord{JournalRecordType::kMigrateCommit, migration_id,
+                       std::move(payload)});
 }
 
 Result<JournalState> ClusterJournal::Scan() const {
@@ -151,6 +183,9 @@ Result<JournalState> ClusterJournal::Scan() const {
   JournalState state;
   state.records_scanned = scan.records_scanned;
   state.truncated = scan.truncated;
+  state.valid_bytes = scan.valid_bytes;
+  state.corrupt_frames = scan.corrupt_frames;
+  state.chain_head = scan.chain_head;
 
   std::map<uint64_t, size_t> batch_at;      // batch id -> index in batches
   std::map<uint64_t, size_t> migration_at;  // migration id -> index
@@ -213,7 +248,20 @@ Result<JournalState> ClusterJournal::Scan() const {
         PASS_ASSIGN_OR_RETURN(bump.range.end, in.U64());
         PASS_ASSIGN_OR_RETURN(uint32_t to_shard, in.U32());
         bump.to_shard = static_cast<int>(to_shard);
-        state.epoch_bumps.push_back(bump);
+        // Custody digests: appended by audit-aware writers; a shorter
+        // payload is a pre-audit image, not corruption.
+        if (in.remaining() >= bump.chain_head.size() +
+                                  bump.range_digest.size()) {
+          for (auto& byte : bump.chain_head) {
+            PASS_ASSIGN_OR_RETURN(byte, in.U8());
+          }
+          for (auto& byte : bump.range_digest) {
+            PASS_ASSIGN_OR_RETURN(byte, in.U8());
+          }
+          bump.has_digests = true;
+        }
+        bump.raw_payload = record.payload;
+        state.epoch_bumps.push_back(std::move(bump));
         break;
       }
     }
@@ -234,12 +282,10 @@ Status ClusterJournal::Checkpoint() {
   PASS_ASSIGN_OR_RETURN(JournalState state, Scan());
   std::vector<JournalRecord> keep;
   for (const JournalEpochBump& bump : state.epoch_bumps) {
-    std::string payload;
-    PutU64(&payload, bump.migration_id);
-    payload.append(EncodeRangePayload(bump.range));
-    PutU32(&payload, static_cast<uint32_t>(bump.to_shard));
+    // Re-emit the payload exactly as journaled: the custody digests sealed
+    // into it must survive every checkpoint verbatim.
     keep.push_back(JournalRecord{JournalRecordType::kEpochBump, bump.epoch,
-                                 std::move(payload)});
+                                 bump.raw_payload});
   }
   for (const JournalMigration& migration : state.migrations) {
     if (migration.committed) {
@@ -270,9 +316,16 @@ Status ClusterJournal::Checkpoint() {
 void ClusterJournal::Rewrite(const std::vector<JournalRecord>& records) {
   // Maintenance write, raw like RemoveLog: checkpointing is a recovery-time
   // housekeeping operation, not part of the charged workload path.
+  // A rewrite replaces the image, so the chain starts over from the zero
+  // digest and re-folds over the kept records. Seals taken against the old
+  // head are invalidated — by design: a checkpoint is a *legitimate*
+  // rewrite, and the custody records inside survive to prove history.
   std::string image;
+  chain_head_ = lasagna::ChainHash{};
+  chain_frames_ = 0;
   for (const JournalRecord& record : records) {
-    lasagna::EncodeJournalRecord(&image, record);
+    lasagna::EncodeJournalRecord(&image, record, &chain_head_);
+    ++chain_frames_;
   }
   size_ = image.size();
   PASS_CHECK(lower_->WriteFileRaw(path_, image).ok());

@@ -63,18 +63,33 @@ struct JournalMigration {
   bool committed = false;
 };
 
-// One ShardMap reassignment (kept forever: the map rebuild history).
+// One ShardMap reassignment (kept forever: the map rebuild history). Since
+// the audit plane landed, a bump is also a *custody record*: its payload
+// carries the journal chain head at append time and the content digest of
+// the range being handed over, so responsibility for a migrated range
+// crosses shards together with a commitment to its rows.
 struct JournalEpochBump {
   uint64_t epoch = 0;
   uint64_t migration_id = 0;
   core::PnodeRange range{};
   int to_shard = -1;
+  // Custody digests (absent on pre-audit images; see has_digests).
+  lasagna::ChainHash chain_head{};   // journal chain head when appended
+  Md5Digest range_digest{};          // content hash of the handed-over range
+  bool has_digests = false;
+  // The payload exactly as journaled. Checkpoint re-emits this verbatim:
+  // re-encoding from the parsed fields would silently strip digest bytes a
+  // newer writer appended, destroying the custody evidence.
+  std::string raw_payload;
 };
 
 // Classified contents of one journal image.
 struct JournalState {
   uint64_t records_scanned = 0;
   bool truncated = false;  // torn tail detected via CRC, valid prefix kept
+  size_t valid_bytes = 0;  // where the valid frame prefix ends
+  uint64_t corrupt_frames = 0;
+  lasagna::ChainHash chain_head{};  // chain head of the valid prefix
   std::vector<JournalBatch> batches;
   std::vector<JournalMigration> migrations;
   std::vector<JournalEpochBump> epoch_bumps;
@@ -115,10 +130,24 @@ class ClusterJournal {
   void AppendReplApplied(uint64_t batch_id);
   void AppendMigrateBegin(uint64_t migration_id, core::PnodeRange range,
                           int from, int to);
+  // `range_digest` is the source shard's content hash of the handed-over
+  // range (ProvDb::ContentHashOfRange); it and the journal chain head at
+  // append time are sealed into the bump payload as the custody record.
   void AppendEpochBump(uint64_t epoch, uint64_t migration_id,
-                       core::PnodeRange range, int to_shard);
+                       core::PnodeRange range, int to_shard,
+                       const Md5Digest& range_digest = Md5Digest{});
   void AppendMigrateCopied(uint64_t migration_id);
+  // The commit record carries the chain head at append time, pinning where
+  // in this journal's history the migration's source rows were deleted.
   void AppendMigrateCommit(uint64_t migration_id);
+
+  // ---- Hash chain -----------------------------------------------------------
+  // Running hash chain over the durable image (see lasagna/log_format.h).
+  // Group-buffered frames advance a staged chain that only becomes the head
+  // when the group's coalesced write commits, so the head always describes
+  // bytes that are actually on disk.
+  const lasagna::ChainHash& chain_head() const { return chain_head_; }
+  uint64_t chain_frames() const { return chain_frames_; }
 
   // ---- Recovery side --------------------------------------------------------
 
@@ -148,6 +177,10 @@ class ClusterJournal {
   bool group_open_ = false;
   std::string group_buf_;  // volatile: frames awaiting the coalesced write
   uint64_t group_pending_frames_ = 0;
+  lasagna::ChainHash chain_head_{};   // chain over the durable image
+  uint64_t chain_frames_ = 0;
+  lasagna::ChainHash staged_chain_{};  // chain including buffered group frames
+  uint64_t staged_frames_ = 0;
   uint64_t group_commits_ = 0;
   uint64_t group_frames_ = 0;
 };

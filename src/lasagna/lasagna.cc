@@ -375,6 +375,19 @@ Status LasagnaFs::FlushLogBuffer() {
   PASS_ASSIGN_OR_RETURN(os::VnodeRef vnode, lower_->ResolvePath(path));
   PASS_ASSIGN_OR_RETURN(size_t n, vnode->Write(log_size_, frames));
   log_size_ += n;
+  // Fold the flushed frames into this log's hash chain. The buffer always
+  // holds whole frames (AppendTxn appends frame-aligned), so the reader
+  // consumes it exactly.
+  LogChainState& chain = log_chains_[path];
+  FrameReader flushed(frames, &chain.head);
+  for (;;) {
+    auto next = flushed.Next();
+    PASS_CHECK(next.ok());
+    if (!next->has_value()) {
+      break;
+    }
+    ++chain.frames;
+  }
   log_flush_bytes_->Add(n);
   log_flush_ns_hist_->Record(env_->clock().now() - flush_start);
   flush_span.End();
@@ -420,6 +433,7 @@ std::vector<std::string> LasagnaFs::ClosedLogPaths() const {
 
 Status LasagnaFs::RemoveLog(const std::string& path) {
   PASS_RETURN_IF_ERROR(lower_->UnlinkRaw(path));
+  log_chains_.erase(path);
   while (first_closed_log_ < log_index_ &&
          !lower_->ExistsRaw(StrFormat(
              "%s/log.%llu", options_.log_dir.c_str(),

@@ -48,6 +48,14 @@ struct LasagnaOptions {
   double md5_ns_per_byte = 2.0;
 };
 
+// Writer-side hash chain over one on-disk log (audit plane): maintained as
+// frames are flushed, sealed by the cluster auditor, and later checked
+// against a fresh scan of the same file.
+struct LogChainState {
+  ChainHash head{};
+  uint64_t frames = 0;
+};
+
 struct LasagnaStats {
   uint64_t pass_writes = 0;
   uint64_t pass_reads = 0;
@@ -178,6 +186,12 @@ class LasagnaFs : public os::FileSystem {
   // Rotate if the log has been dormant long enough (periodic tick).
   void MaybeRotateDormant();
 
+  // Chain head + frame count of every log currently on the lower fs, keyed
+  // by path; entries appear at first flush and vanish with RemoveLog.
+  const std::map<std::string, LogChainState>& log_chains() const {
+    return log_chains_;
+  }
+
   const LasagnaStats& lasagna_stats() const { return lasagna_stats_; }
   // Uniform with Disk/Net/IngestQueue/FederatedSource: zero the counters so
   // benches can measure phases instead of cumulative totals.
@@ -227,6 +241,7 @@ class LasagnaFs : public os::FileSystem {
   uint64_t log_index_ = 0;
   uint64_t log_size_ = 0;
   std::string log_buffer_;
+  std::map<std::string, LogChainState> log_chains_;
   uint64_t first_closed_log_ = 0;  // logs < log_index_ and >= this exist
   sim::Nanos last_append_ns_ = 0;
 };

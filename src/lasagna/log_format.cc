@@ -7,10 +7,21 @@
 
 namespace pass::lasagna {
 
-void AppendFrame(std::string* out, std::string_view payload) {
+ChainHash ChainExtend(const ChainHash& prev, std::string_view payload) {
+  Md5 md5;
+  md5.Update(prev.data(), prev.size());
+  md5.Update(payload);
+  return md5.Finish();
+}
+
+void AppendFrame(std::string* out, std::string_view payload,
+                 ChainHash* chain) {
   PutU32(out, static_cast<uint32_t>(payload.size()));
   PutU32(out, Crc32(payload));
   out->append(payload);
+  if (chain != nullptr) {
+    *chain = ChainExtend(*chain, payload);
+  }
 }
 
 Result<std::optional<std::string_view>> FrameReader::Next() {
@@ -31,7 +42,42 @@ Result<std::optional<std::string_view>> FrameReader::Next() {
     return Corrupt("frame CRC mismatch");
   }
   pos_ += 8 + *len;
+  if (chain_ != nullptr) {
+    *chain_ = ChainExtend(*chain_, payload);
+  }
   return std::optional<std::string_view>(payload);
+}
+
+FrameMap MapFrames(std::string_view image) {
+  FrameMap map;
+  size_t pos = 0;
+  while (pos < image.size()) {
+    if (image.size() - pos < 8) {
+      map.torn_tail = true;
+      map.torn_at = pos;
+      break;
+    }
+    Decoder header(image.substr(pos));
+    uint32_t len = *header.U32();
+    uint32_t crc = *header.U32();
+    if (image.size() - pos - 8 < len) {
+      // The declared length runs past the end: a torn (or length-smashed)
+      // tail; there is no boundary to resync at.
+      map.torn_tail = true;
+      map.torn_at = pos;
+      break;
+    }
+    std::string_view payload = image.substr(pos + 8, len);
+    FrameMapEntry entry;
+    entry.offset = pos;
+    entry.length = len;
+    entry.crc_ok = Crc32(payload) == crc;
+    entry.payload_md5 = Md5::Hash(payload);
+    map.chain_head = ChainExtend(map.chain_head, payload);
+    map.frames.push_back(entry);
+    pos += 8 + len;
+  }
+  return map;
 }
 
 void EncodeLogEntryPayload(std::string* out, const LogEntry& entry) {
@@ -141,30 +187,45 @@ Result<std::vector<LogEntry>> ParseLog(std::string_view data,
   }
 }
 
-void EncodeJournalRecord(std::string* out, const JournalRecord& record) {
+void EncodeJournalRecord(std::string* out, const JournalRecord& record,
+                         ChainHash* chain) {
   std::string payload;
   PutU8(&payload, static_cast<uint8_t>(record.type));
   PutU64(&payload, record.id);
   payload.append(record.payload);
-  AppendFrame(out, payload);
+  AppendFrame(out, payload, chain);
 }
 
 Result<std::vector<JournalRecord>> ParseJournal(std::string_view data,
-                                                bool* truncated) {
+                                                bool* truncated,
+                                                FrameScanInfo* info) {
   if (truncated != nullptr) {
     *truncated = false;
   }
-  FrameReader frames(data);
+  FrameScanInfo scan;
+  FrameReader frames(data, &scan.chain_head);
   std::vector<JournalRecord> records;
+  auto finish = [&](bool damaged) {
+    scan.valid_bytes = frames.position();
+    scan.frames = records.size();
+    if (damaged) {
+      scan.corrupt_frames = 1;
+    }
+    if (info != nullptr) {
+      *info = scan;
+    }
+  };
   for (;;) {
     auto next = frames.Next();
     if (!next.ok()) {
       if (truncated != nullptr) {
         *truncated = true;
       }
+      finish(/*damaged=*/true);
       return records;  // damaged tail: return the valid prefix
     }
     if (!next->has_value()) {
+      finish(/*damaged=*/false);
       return records;
     }
     Decoder body(**next);
@@ -175,6 +236,7 @@ Result<std::vector<JournalRecord>> ParseJournal(std::string_view data,
       if (truncated != nullptr) {
         *truncated = true;
       }
+      finish(/*damaged=*/true);
       return records;  // frame too short for a record header
     }
     record.type = static_cast<JournalRecordType>(*type);

@@ -22,6 +22,7 @@
 // an ENDTXN whose MD5 does not match the on-disk extent identifies exactly
 // the data that was in flight when the machine died.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,14 +51,31 @@ struct TxnDescriptor {
 // cluster write-ahead journal; both get torn-tail detection from the same
 // two functions.
 
-// Frame one payload (length + CRC + payload).
-void AppendFrame(std::string* out, std::string_view payload);
+// ---- Hash chaining ----
+// The CRC catches accidental damage; the running hash catches deliberate
+// rewriting. Writers that thread a ChainHash through AppendFrame turn the
+// file into a hash chain, h_i = MD5(h_{i-1} || payload_i) seeded with the
+// zero digest, whose head commits to the entire frame prefix. A reader that
+// threads the same chain through FrameReader recomputes it; anyone holding
+// a trusted copy of the head (the cluster epoch digest, a journaled custody
+// record) can prove the file's history unmodified.
+using ChainHash = Md5Digest;
+
+ChainHash ChainExtend(const ChainHash& prev, std::string_view payload);
+
+// Frame one payload (length + CRC + payload). When `chain` is non-null it
+// is advanced over the payload: the caller's running chain head.
+void AppendFrame(std::string* out, std::string_view payload,
+                 ChainHash* chain = nullptr);
 
 // Streaming frame decoder over a file image. Yields payloads; stops at a
-// truncated or corrupt tail (the crash case).
+// truncated or corrupt tail (the crash case). When `chain` is non-null it
+// is advanced over every successfully decoded payload, so after a full scan
+// it holds the chain head of the valid prefix.
 class FrameReader {
  public:
-  explicit FrameReader(std::string_view data) : data_(data) {}
+  explicit FrameReader(std::string_view data, ChainHash* chain = nullptr)
+      : data_(data), chain_(chain) {}
 
   // nullopt = clean end of input. Corrupt() = damaged tail; callers count it
   // and stop.
@@ -68,7 +86,40 @@ class FrameReader {
  private:
   std::string_view data_;
   size_t pos_ = 0;
+  ChainHash* chain_;
 };
+
+// Offsets, counts, and chain head of one scan over a framed image — what
+// the journal scan surfaces so recovery and the auditor agree on where the
+// valid prefix ends instead of re-deriving offsets independently.
+struct FrameScanInfo {
+  size_t valid_bytes = 0;       // where the valid frame prefix ends
+  uint64_t frames = 0;          // frames in the valid prefix
+  uint64_t corrupt_frames = 0;  // damaged frames hit (scan stops at the 1st)
+  ChainHash chain_head{};       // running hash over the valid prefix
+};
+
+// ---- Frame maps (audit plane) ----
+// A forensic scan of a framed image: unlike FrameReader, which stops at the
+// first damaged frame, MapFrames records the damage and *resyncs* using the
+// frame's declared length, so a mid-file corruption still yields the frames
+// after it. The auditor classifies tampering by comparing a frame map
+// against its sealed reference.
+struct FrameMapEntry {
+  size_t offset = 0;     // byte offset of the frame header
+  uint32_t length = 0;   // declared payload length
+  bool crc_ok = false;   // payload matches the frame CRC
+  Md5Digest payload_md5{};
+};
+
+struct FrameMap {
+  std::vector<FrameMapEntry> frames;
+  bool torn_tail = false;  // trailing bytes that do not form a whole frame
+  size_t torn_at = 0;      // offset of that unparseable tail
+  ChainHash chain_head{};  // chain over every mapped payload, damaged or not
+};
+
+FrameMap MapFrames(std::string_view image);
 
 // ---- Provenance log entries -------------------------------------------------
 
@@ -136,13 +187,17 @@ struct JournalRecord {
   bool operator==(const JournalRecord&) const = default;
 };
 
-// Frame one journal record (length + CRC + [type][id][payload]).
-void EncodeJournalRecord(std::string* out, const JournalRecord& record);
+// Frame one journal record (length + CRC + [type][id][payload]); `chain`,
+// when non-null, is advanced over the frame payload (see AppendFrame).
+void EncodeJournalRecord(std::string* out, const JournalRecord& record,
+                         ChainHash* chain = nullptr);
 
 // Parse an entire journal image; `truncated` (optional) reports whether it
-// ended in a damaged frame (the valid prefix is still returned).
+// ended in a damaged frame (the valid prefix is still returned). `info`
+// (optional) receives the scan offsets and chain head of the valid prefix.
 Result<std::vector<JournalRecord>> ParseJournal(std::string_view data,
-                                                bool* truncated = nullptr);
+                                                bool* truncated = nullptr,
+                                                FrameScanInfo* info = nullptr);
 
 }  // namespace pass::lasagna
 

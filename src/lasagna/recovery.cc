@@ -173,8 +173,13 @@ Result<JournalScanReport> ScanJournal(fs::MemFs* lower,
     return report;
   }
   PASS_ASSIGN_OR_RETURN(std::string image, lower->ReadFileRaw(path));
-  PASS_ASSIGN_OR_RETURN(report.records, ParseJournal(image, &report.truncated));
+  FrameScanInfo scan;
+  PASS_ASSIGN_OR_RETURN(report.records,
+                        ParseJournal(image, &report.truncated, &scan));
   report.records_scanned = report.records.size();
+  report.valid_bytes = scan.valid_bytes;
+  report.corrupt_frames = scan.corrupt_frames;
+  report.chain_head = scan.chain_head;
   return report;
 }
 

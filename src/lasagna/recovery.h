@@ -54,6 +54,13 @@ struct JournalScanReport {
   uint64_t records_scanned = 0;
   // Journal tail destroyed mid-frame by the crash (CRC or length mismatch).
   bool truncated = false;
+  // Where the valid frame prefix ends — the truncation point a repair or
+  // audit acts on, so callers stop re-deriving it from record sizes.
+  size_t valid_bytes = 0;
+  // Damaged frames hit (the scan stops at the first).
+  uint64_t corrupt_frames = 0;
+  // Running hash chain head over the valid prefix (see log_format.h).
+  ChainHash chain_head{};
   // The valid record prefix, ready for the cluster layer to classify.
   std::vector<JournalRecord> records;
 };

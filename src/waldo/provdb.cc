@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/util/md5.h"
 #include "src/util/strings.h"
 
 namespace pass::waldo {
@@ -259,6 +260,26 @@ std::vector<lasagna::LogEntry> ProvDb::EntriesInRange(core::PnodeId begin,
     }
   }
   return out;
+}
+
+Md5Digest ProvDb::ContentHashOfRange(core::PnodeId begin, core::PnodeId end,
+                                     uint64_t* bytes_hashed) const {
+  Md5Digest fold{};
+  std::string payload;
+  uint64_t bytes = 0;
+  for (const lasagna::LogEntry& entry : EntriesInRange(begin, end)) {
+    payload.clear();
+    lasagna::EncodeLogEntryPayload(&payload, entry);
+    bytes += payload.size();
+    Md5Digest row = Md5::Hash(payload);
+    for (size_t i = 0; i < fold.size(); ++i) {
+      fold[i] ^= row[i];
+    }
+  }
+  if (bytes_hashed != nullptr) {
+    *bytes_hashed = bytes;
+  }
+  return fold;
 }
 
 uint64_t ProvDb::DeleteRange(core::PnodeId begin, core::PnodeId end) {

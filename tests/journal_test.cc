@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/auditor.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/federated_source.h"
 #include "src/cluster/journal.h"
+#include "src/cluster/tamper.h"
 #include "src/fs/memfs.h"
 #include "src/lasagna/log_format.h"
 #include "src/lasagna/recovery.h"
@@ -562,6 +564,192 @@ TEST(JournalCrashTest, RecoveryToleratesTornJournalTail) {
   ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
   EXPECT_GT(recovery->truncated_journals, 0u);
   ExpectFederatedMatchesMerged(&cluster, "torn journal tail");
+}
+
+// ---- Hash chain + audit interaction -----------------------------------------
+
+// Satellite (small fix): ScanJournal surfaces *where* the valid prefix ends
+// and the chain head over it, so recovery and the auditor stop re-deriving
+// offsets independently.
+TEST_F(ClusterJournalTest, ScanJournalReportsOffsetsAndChainHead) {
+  ClusterJournal journal(&lower_);
+  journal.AppendReplBatch(1, SampleEntries());
+  journal.AppendMigrateBegin(9, core::ShardSpace(0), 0, 1);
+
+  auto image = lower_.ReadFileRaw(journal.path());
+  ASSERT_TRUE(image.ok());
+  auto scan = lasagna::ScanJournal(&lower_, journal.path());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->truncated);
+  EXPECT_EQ(scan->valid_bytes, image->size());
+  EXPECT_EQ(scan->corrupt_frames, 0u);
+  // Writer-maintained chain and disk-derived chain agree.
+  EXPECT_EQ(scan->chain_head, journal.chain_head());
+  EXPECT_EQ(lasagna::MapFrames(*image).chain_head, journal.chain_head());
+
+  // Tear the tail: valid_bytes pins the boundary, the torn frame is
+  // counted, and the chain head shrinks to the surviving prefix.
+  size_t first_frame_end = lasagna::MapFrames(*image).frames[1].offset;
+  ASSERT_TRUE(lower_
+                  .WriteFileRaw(journal.path(),
+                                std::string_view(*image).substr(
+                                    0, image->size() - 3))
+                  .ok());
+  scan = lasagna::ScanJournal(&lower_, journal.path());
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->truncated);
+  EXPECT_EQ(scan->valid_bytes, first_frame_end);
+  EXPECT_EQ(scan->corrupt_frames, 1u);
+  EXPECT_EQ(scan->chain_head,
+            lasagna::MapFrames(
+                std::string_view(*image).substr(0, first_frame_end))
+                .chain_head);
+
+  // Scan() forwards the same offsets to the cluster layer.
+  auto state = journal.Scan();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->valid_bytes, first_frame_end);
+  EXPECT_EQ(state->corrupt_frames, 1u);
+}
+
+// The writer chain describes the *durable* image only: buffered group
+// frames advance it at commit, never on abort, and a restart re-folds the
+// same head from disk.
+TEST_F(ClusterJournalTest, ChainHeadTracksDurableImageAcrossGroups) {
+  ClusterJournal journal(&lower_);
+  journal.AppendReplBatch(1, SampleEntries());
+  lasagna::ChainHash before_group = journal.chain_head();
+
+  journal.BeginGroup();
+  journal.AppendReplBatch(2, SampleEntries());
+  EXPECT_EQ(journal.chain_head(), before_group);  // buffered, not durable
+  journal.AbortGroup();
+  EXPECT_EQ(journal.chain_head(), before_group);
+
+  journal.BeginGroup();
+  journal.AppendReplBatch(2, SampleEntries());
+  journal.CommitGroup();
+  EXPECT_NE(journal.chain_head(), before_group);
+  EXPECT_EQ(journal.chain_frames(), 2u);
+
+  // Disk agrees, and a restarted journal re-derives the identical head.
+  auto image = lower_.ReadFileRaw(journal.path());
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(lasagna::MapFrames(*image).chain_head, journal.chain_head());
+  ClusterJournal restarted(&lower_);
+  EXPECT_EQ(restarted.chain_head(), journal.chain_head());
+  EXPECT_EQ(restarted.chain_frames(), journal.chain_frames());
+}
+
+// Satellite acceptance (crash x tamper, benign half): a torn multi-frame
+// group-commit tail appended *after* the seal classifies as a benign crash
+// — zero findings, one counted torn tail — because every sealed frame is
+// still intact and the damage lies strictly beyond the sealed prefix.
+TEST(JournalCrashTest, TornGroupCommitTailBeyondSealIsBenign) {
+  ClusterCoordinator cluster(CrashClusterOptions());
+  RunChainWorkload(&cluster, 8);
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  // Seal after the sync: only journals are on disk (logs were consumed).
+  Auditor auditor(&cluster, /*seed=*/3);
+  ASSERT_TRUE(auditor.Seal().clean());
+  std::vector<uint64_t> sealed_frames(kShards);
+  for (int shard = 0; shard < kShards; ++shard) {
+    sealed_frames[shard] = cluster.journal(shard).chain_frames();
+  }
+
+  // More lineage + another sync: the journals grow by group-committed
+  // REPL_BATCH frames beyond the sealed prefix.
+  auto a = cluster.WriteWithLineage(0, "/post-seal-a", "x", {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(cluster.WriteWithLineage(1, "/post-seal-b", "y", {*a}).ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  int grown = -1;
+  for (int shard = 0; shard < kShards; ++shard) {
+    if (cluster.journal(shard).chain_frames() > sealed_frames[shard]) {
+      grown = shard;
+      break;
+    }
+  }
+  ASSERT_GE(grown, 0);
+
+  // The crash tears the coalesced post-seal write mid-frame.
+  const std::string& path = cluster.journal(grown).path();
+  fs::MemFs* lower = cluster.machine(grown).volume()->lower();
+  auto image = lower->ReadFileRaw(path);
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(lower
+                  ->WriteFileRaw(path, std::string_view(*image).substr(
+                                           0, image->size() - 3))
+                  .ok());
+
+  AuditReport report = auditor.AuditAll(
+      AuditOptions{.files = true, .db = false, .custody = false});
+  EXPECT_TRUE(report.clean()) << report.findings[0].detail;
+  EXPECT_GE(report.benign_torn_tails, 1u);
+}
+
+// Satellite acceptance (crash x tamper, adversarial half): tampering
+// injected *before* a crash survives Recover() — the checkpoint re-emits
+// the doctored custody payload verbatim — and the first post-recovery
+// custody audit convicts it.
+TEST(JournalCrashTest, TamperBeforeCrashSurvivesRecoveryAndIsCaught) {
+  ClusterCoordinator cluster(CrashClusterOptions());
+  RunChainWorkload(&cluster, 8);
+  ASSERT_TRUE(cluster.Sync().ok());
+  core::PnodeRange range{core::ShardSpace(0).begin,
+                         cluster.machine(0).allocator().peek_next()};
+  ASSERT_TRUE(cluster.MigrateRange(range, 2).ok());
+
+  Auditor auditor(&cluster, /*seed=*/3);
+  ASSERT_TRUE(auditor.Seal().clean());
+
+  // The adversary edits the sealed range digest inside the EPOCH_BUMP
+  // custody record — CRC re-fixed, so framing stays self-consistent.
+  const std::string& path = cluster.journal(0).path();
+  fs::MemFs* lower = cluster.machine(0).volume()->lower();
+  auto image = lower->ReadFileRaw(path);
+  ASSERT_TRUE(image.ok());
+  auto records = lasagna::ParseJournal(*image);
+  ASSERT_TRUE(records.ok());
+  size_t bump_frame = records->size();
+  for (size_t i = 0; i < records->size(); ++i) {
+    if ((*records)[i].type == JournalRecordType::kEpochBump) {
+      bump_frame = i;
+      break;
+    }
+  }
+  ASSERT_LT(bump_frame, records->size());
+  lasagna::FrameMap map = lasagna::MapFrames(*image);
+  TamperFs tamper(lower);
+  ASSERT_TRUE(tamper
+                  .Inject(path, TamperSite{TamperKind::kFlipByteFixCrc,
+                                           bump_frame,
+                                           8 + map.frames[bump_frame].length -
+                                               1,
+                                           "edit_custody_digest"})
+                  .ok());
+
+  // Then the machine dies mid-sync...
+  auto extra = cluster.WriteWithLineage(0, "/pre-crash", "z", {});
+  ASSERT_TRUE(extra.ok());
+  cluster.env().CrashAfterOps(2);
+  EXPECT_FALSE(cluster.Sync().ok());
+
+  // ...and recovery succeeds: the doctored digest bytes are opaque to the
+  // epoch replay, and the checkpoint preserves them verbatim.
+  auto recovery = cluster.Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  ExpectFederatedMatchesMerged(&cluster, "tamper before crash");
+
+  // The first post-recovery custody audit pinpoints the rewrite.
+  AuditReport report = auditor.AuditAll(
+      AuditOptions{.files = false, .db = false, .custody = true});
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.findings[0].klass, TamperClass::kRowEdit);
+  EXPECT_EQ(report.findings[0].shard, 0);
+  EXPECT_NE(report.findings[0].detail.find("custody"), std::string::npos);
 }
 
 }  // namespace

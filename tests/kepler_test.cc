@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cluster/auditor.h"
+#include "src/cluster/cluster.h"
 #include "src/kepler/challenge.h"
 #include "src/kepler/kepler.h"
 #include "src/util/strings.h"
@@ -206,6 +208,64 @@ TEST(KeplerTabularTest, ReformatsWithExpression) {
   BuildTabularWorkflow(&engine, "/table.tsv", "/out.txt", "%a-%b");
   ASSERT_TRUE(engine.Run().ok());
   EXPECT_EQ(*machine.kernel().ReadFile(pid, "/out.txt"), "1-2\n4-5\n");
+}
+
+// The challenge workflow under audit (tamper-evidence satellite): run the
+// full Kepler workflow on shard 0 of a cluster, migrate the anatomy input's
+// provenance to shard 1, seal, and audit every shard clean. Then forge the
+// migrated ancestor's record — a lineage challenge rooted at the atlas must
+// cross the shard boundary and pinpoint the exact forged pnode.
+TEST(KeplerAuditTest, ChallengeWorkflowLineageAuditPinpointsForgedAncestor) {
+  cluster::ClusterOptions options;
+  options.shards = 2;
+  options.ingest_batch_records = 8;
+  cluster::ClusterCoordinator cluster(options);
+
+  workloads::Machine& host = cluster.machine(0);
+  os::Pid pid = host.Spawn("kepler");
+  ChallengePaths paths;
+  ASSERT_TRUE(SeedChallengeInputs(&host.kernel(), pid, paths, 7).ok());
+  KeplerEngine engine(&host.kernel(), pid,
+                      std::make_unique<PassRecorder>(host.Lib(pid)));
+  BuildChallengeWorkflow(&engine, paths);
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_TRUE(cluster.Sync().ok());
+
+  // Move the first anatomy input's provenance rows to shard 1, so the
+  // lineage walk must hop shards and the custody record gets exercised.
+  auto anatomy = cluster.shard_db(0).PnodesByName(paths.Anatomy(0));
+  ASSERT_EQ(anatomy.size(), 1u);
+  ASSERT_TRUE(cluster.MigrateRange({anatomy[0], anatomy[0] + 1}, 1).ok());
+  ASSERT_EQ(cluster.OwnerOf(anatomy[0]), 1);
+
+  cluster::Auditor auditor(&cluster, /*seed=*/11);
+  ASSERT_TRUE(auditor.Seal().clean());
+  cluster::AuditReport all = auditor.AuditAll();
+  EXPECT_TRUE(all.clean()) << all.findings[0].detail;
+  EXPECT_GT(all.custody_records_verified, 0u);  // the migration's bump
+  EXPECT_TRUE(auditor.Challenge(12).clean());
+
+  // A clean lineage challenge from the atlas walks deep into the workflow
+  // (operators, intermediate images, the anatomy inputs).
+  auto atlas = cluster.shard_db(0).PnodesByName(paths.Atlas('x'));
+  ASSERT_EQ(atlas.size(), 1u);
+  core::ObjectRef root{atlas[0],
+                       cluster.shard_db(0).LatestVersionOf(atlas[0])};
+  cluster::AuditReport lineage = auditor.ChallengeLineage(root);
+  EXPECT_TRUE(lineage.clean()) << lineage.findings[0].detail;
+  EXPECT_GT(lineage.challenges, 10u);
+
+  // Forge the migrated ancestor on its new owner shard and re-challenge.
+  cluster.shard_db(1).Insert(lasagna::LogEntry{
+      {anatomy[0], cluster.shard_db(1).LatestVersionOf(anatomy[0])},
+      core::Record::Type("forged")});
+  cluster::AuditReport caught = auditor.ChallengeLineage(root);
+  ASSERT_FALSE(caught.clean());
+  EXPECT_EQ(caught.findings[0].shard, 1);
+  EXPECT_EQ(caught.findings[0].klass, cluster::TamperClass::kRowEdit);
+  EXPECT_NE(caught.findings[0].detail.find(std::to_string(anatomy[0])),
+            std::string::npos)
+      << caught.findings[0].detail;
 }
 
 TEST(KeplerTabularTest, DeterministicTableGenerator) {
