@@ -41,9 +41,9 @@ constexpr double kRpcReductionGate = 5.0;
 // behavior, which drops everything on any mutation and re-fetches the world).
 constexpr double kChurnMissReductionGate = 5.0;
 
-// Adapter hiding an underlying source's batched overrides: the evaluator's
-// FollowMany/AttributeMany calls fall back to the GraphSource defaults,
-// which loop the single-node ops — the seed's one-RPC-per-node behavior.
+// Adapter hiding an underlying source's frontier batching: every batched
+// call is re-issued one node at a time against the inner source (a frontier
+// of one per node) — the seed's one-RPC-per-node behavior.
 class PerNodeAdapter : public pass::pql::GraphSource {
  public:
   explicit PerNodeAdapter(const pass::pql::GraphSource* inner)
@@ -52,14 +52,25 @@ class PerNodeAdapter : public pass::pql::GraphSource {
   std::vector<pass::pql::Node> RootSet(const std::string& name) const override {
     return inner_->RootSet(name);
   }
-  pass::pql::ValueSet Attribute(const pass::pql::Node& node,
-                                const std::string& attr) const override {
-    return inner_->Attribute(node, attr);
+  std::vector<pass::pql::ValueSet> AttributeMany(
+      const std::vector<pass::pql::Node>& nodes,
+      const std::string& attr) const override {
+    std::vector<pass::pql::ValueSet> out;
+    out.reserve(nodes.size());
+    for (const pass::pql::Node& node : nodes) {
+      out.push_back(inner_->Attribute(node, attr));
+    }
+    return out;
   }
-  std::vector<pass::pql::Node> Follow(const pass::pql::Node& node,
-                                      const std::string& link,
-                                      bool inverse) const override {
-    return inner_->Follow(node, link, inverse);
+  std::vector<std::vector<pass::pql::Node>> FollowMany(
+      const std::vector<pass::pql::Node>& nodes, const std::string& link,
+      bool inverse) const override {
+    std::vector<std::vector<pass::pql::Node>> out;
+    out.reserve(nodes.size());
+    for (const pass::pql::Node& node : nodes) {
+      out.push_back(inner_->Follow(node, link, inverse));
+    }
+    return out;
   }
   bool IsLink(const std::string& name) const override {
     return inner_->IsLink(name);

@@ -44,6 +44,7 @@ namespace {
 using pass::cluster::ClusterCoordinator;
 using pass::cluster::ClusterOptions;
 using pass::cluster::FederatedSource;
+using pass::cluster::PortalHandle;
 using pass::cluster::PortalSession;
 using pass::cluster::PortalSessionOptions;
 using pass::cluster::PortalTier;
@@ -183,6 +184,7 @@ CellResult RunCell(int sessions, int churn_writes, size_t cache_bytes,
   PortalTierOptions tier_options;
   tier_options.total_cache_bytes = sessions * cache_bytes;
   PortalTier tier(fixture.cluster.get(), tier_options);
+  std::vector<PortalHandle> handles;
   std::vector<PortalSession*> fleet;
   for (int i = 0; i < sessions; ++i) {
     PortalSessionOptions options;
@@ -190,7 +192,8 @@ CellResult RunCell(int sessions, int churn_writes, size_t cache_bytes,
     options.cache_bytes = cache_bytes;
     auto session = tier.Open(options);
     PASS_CHECK(session.ok());
-    fleet.push_back(*session);
+    handles.push_back(std::move(*session));
+    fleet.push_back(handles.back().get());
   }
   FederatedSource flush = fixture.cluster->Source(/*portal_shard=*/0,
                                                   cache_bytes);
@@ -257,7 +260,7 @@ void RunMigrationPhase(std::string* csv) {
   options.tenant = "pinned-b";
   auto b = tier.Open(options);
   PASS_CHECK(a.ok() && b.ok());
-  for (PortalSession* session : {*a, *b}) {
+  for (PortalSession* session : {a->get(), b->get()}) {
     auto warm = session->Run(fixture.query);
     PASS_CHECK(warm.ok());
     PASS_CHECK(Rows(*warm) == fixture.want);
@@ -275,14 +278,14 @@ void RunMigrationPhase(std::string* csv) {
 
   // Mid-migration: pinned snapshots still route the range to the old owner,
   // whose rows the deferral kept alive — answers must equal merged.
-  for (PortalSession* session : {*a, *b}) {
+  for (PortalSession* session : {a->get(), b->get()}) {
     auto during = session->Run(fixture.query);
     PASS_CHECK(during.ok());
     PASS_CHECK(Rows(*during) == fixture.want);
   }
 
   uint64_t invalidated = 0;
-  for (PortalSession* session : {*a, *b}) {
+  for (PortalSession* session : {a->get(), b->get()}) {
     session->RePin();
     auto after = session->Run(fixture.query);
     PASS_CHECK(after.ok());

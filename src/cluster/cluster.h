@@ -127,6 +127,34 @@ struct EpochDigest {
   Md5Digest root{};  // pairwise Merkle reduction over shard digests
 };
 
+// ---- Frontier publication (standing-query plane) ----------------------------
+// The per-shard "new pnode" feed the standing-query tier subscribes to,
+// piggybacked on ProvDb's per-range mutation buckets: a FrontierSnapshot
+// remembers every shard's bucket counters, and FrontierSince diffs the live
+// counters against it. A bucket whose counter moved holds at least one
+// pnode whose rows changed, so the delta is every pnode of every dirty
+// bucket — attributed to its current ShardMap owner (replica copies are
+// reported by the owner only) and stamped with its latest version and TYPE.
+
+struct FrontierEntry {
+  core::PnodeId pnode = 0;
+  core::Version version = 0;  // latest known at publication time
+  int shard = -1;             // current owner per the ShardMap
+  std::string type;           // TYPE attribute ("FILE", "PROC", ...)
+};
+
+struct FrontierSnapshot {
+  // Per shard: bucket id -> mutation counter at capture time.
+  std::vector<std::map<uint64_t, uint64_t>> buckets;
+};
+
+struct FrontierDelta {
+  std::vector<FrontierEntry> entries;
+  uint64_t dirty_buckets = 0;
+  uint64_t shards_reporting = 0;  // shards with >= 1 dirty bucket
+  uint64_t rpcs = 0;              // publication exchanges network-charged
+};
+
 // What Recover() found and repaired after a coordinator crash.
 struct ClusterRecoveryReport {
   uint64_t journals_scanned = 0;
@@ -255,6 +283,18 @@ class ClusterCoordinator {
   uint64_t min_pinned_epoch() const;
   // Source-side deletes currently held back by pins (bench/test surface).
   size_t deferred_retirements() const { return deferred_.size(); }
+
+  // ---- Frontier publication (standing-query tier) --------------------------
+  // Snapshot every shard's mutation-bucket counters (the subscription
+  // cursor a standing tier holds; advance it only after the delta's
+  // consumers committed, so a crash mid-consumption re-reads the same
+  // delta — the downstream merge is idempotent).
+  FrontierSnapshot CaptureFrontier() const;
+  // Every pnode in a bucket whose counter moved since `snap`, owner-
+  // attributed (see FrontierEntry). Charges one publication round trip per
+  // reporting shard other than `subscriber_shard`.
+  FrontierDelta FrontierSince(const FrontierSnapshot& snap,
+                              int subscriber_shard = 0);
 
   // Commitment to the cluster's current state (see EpochDigest above).
   // Takes the Quiesce() barrier first so in-flight replication cannot make

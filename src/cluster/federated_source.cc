@@ -314,11 +314,6 @@ std::vector<pql::ValueSet> FederatedSource::AttributeMany(
   return out;
 }
 
-pql::ValueSet FederatedSource::Attribute(const pql::Node& node,
-                                         const std::string& attr) const {
-  return AttributeMany({node}, attr)[0];
-}
-
 std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
     const std::vector<pql::Node>& nodes, const std::string& link,
     bool inverse) const {
@@ -385,12 +380,6 @@ std::vector<std::vector<pql::Node>> FederatedSource::FollowMany(
   hop_span.End();
   RecordHop("follow", hop_start);
   return out;
-}
-
-std::vector<pql::Node> FederatedSource::Follow(const pql::Node& node,
-                                               const std::string& link,
-                                               bool inverse) const {
-  return FollowMany({node}, link, inverse)[0];
 }
 
 bool FederatedSource::IsLink(const std::string& name) const {

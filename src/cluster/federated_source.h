@@ -98,10 +98,8 @@ class FederatedSource : public pql::GraphSource {
   FederatedSource& operator=(const FederatedSource&) = delete;
 
   std::vector<pql::Node> RootSet(const std::string& name) const override;
-  pql::ValueSet Attribute(const pql::Node& node,
-                          const std::string& attr) const override;
-  std::vector<pql::Node> Follow(const pql::Node& node, const std::string& link,
-                                bool inverse) const override;
+  // Single-node Follow/Attribute come from GraphSource's defaulted wrappers
+  // (a frontier of one through the batched core below).
   std::vector<std::vector<pql::Node>> FollowMany(
       const std::vector<pql::Node>& nodes, const std::string& link,
       bool inverse) const override;

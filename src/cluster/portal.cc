@@ -31,16 +31,30 @@ PortalSession::~PortalSession() {
 }
 
 Result<pql::QueryResult> PortalSession::Run(std::string_view query) {
+  return Run(query, pql::QueryOptions());
+}
+
+Result<pql::QueryResult> PortalSession::Run(std::string_view query,
+                                            const pql::QueryOptions& options) {
+  if (options.consistency == pql::Consistency::kFresh) {
+    // Read-your-writes: catch the snapshot up to the live ShardMap before
+    // answering, so ingest into ranges migrated since the pin is visible.
+    RePin();
+  }
   cluster_->Quiesce();
   obs::ScopedSpan span(&cluster_->env().obs().trace(), "portal.query",
                        options_.portal_shard);
   sim::Nanos start = cluster_->env().clock().now();
-  pql::Engine engine(&*source_);
-  Result<pql::QueryResult> result = engine.Run(query);
+  pql::Engine engine(&*source_, options);
+  Result<pql::QueryResult> result = engine.Run(query, options);
+  obs::Labels labels{{"tenant", options_.tenant}};
+  if (!options.trace_label.empty()) {
+    labels.emplace_back("label", options.trace_label);
+  }
   cluster_->env()
       .obs()
       .metrics()
-      .GetHistogram("portal.query_ns", {{"tenant", options_.tenant}})
+      .GetHistogram("portal.query_ns", labels)
       .Record(cluster_->env().clock().now() - start);
   return result;
 }
@@ -60,6 +74,23 @@ void PortalSession::RePin() {
   // sees this session unpinned (no retirement window races past it).
   cluster_->UnpinEpoch(old_epoch);
   cluster_->env().obs().metrics().GetCounter("portal.repins").Add();
+}
+
+// ---- PortalHandle -----------------------------------------------------------
+
+void PortalHandle::Close() {
+  if (tier_ == nullptr) {
+    return;
+  }
+  // The session may already be gone (tier torn down first, or closed by id
+  // through the tier); Close(id) returning NotFound is harmless here.
+  (void)tier_->Close(id_);
+  tier_ = nullptr;
+  id_ = 0;
+}
+
+PortalSession* PortalHandle::get() const {
+  return tier_ == nullptr ? nullptr : tier_->session(id_);
 }
 
 // ---- PortalTier -------------------------------------------------------------
@@ -88,7 +119,7 @@ PortalSession* PortalTier::Admit(PortalSessionOptions options) {
   return raw;
 }
 
-Result<PortalSession*> PortalTier::Open(PortalSessionOptions options) {
+Result<PortalHandle> PortalTier::Open(PortalSessionOptions options) {
   if (tenant_bytes_reserved(options.tenant) + options.cache_bytes >
       QuotaOf(options.tenant)) {
     ++stats_.rejected_quota;
@@ -103,7 +134,7 @@ Result<PortalSession*> PortalTier::Open(PortalSessionOptions options) {
     ++stats_.rejected_budget;
     return NoSpace("portal budget exhausted and queue full");
   }
-  return Admit(std::move(options));
+  return PortalHandle(this, Admit(std::move(options))->id());
 }
 
 Status PortalTier::Close(uint64_t session_id) {

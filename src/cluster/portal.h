@@ -81,7 +81,14 @@ class PortalSession {
   // Run one PQL query through the epoch-pinned source. Takes the cluster
   // Quiesce() barrier first (like ClusterCoordinator::Source) and records
   // the query's sim-time latency into "portal.query_ns"{tenant=...}.
+  // QueryOptions are honored in full: limits bound the evaluation,
+  // Consistency::kFresh re-pins to the live ShardMap first
+  // (read-your-writes across migrations; kDefault/kPinnedEpoch answer from
+  // the session's pinned snapshot), and a non-empty trace_label is added
+  // to the latency histogram's labels.
   Result<pql::QueryResult> Run(std::string_view query);
+  Result<pql::QueryResult> Run(std::string_view query,
+                               const pql::QueryOptions& options);
 
   // Re-capture the live ShardMap + journal horizons and move the epoch pin
   // forward, releasing any migration retirements the old pin blocked. The
@@ -109,6 +116,48 @@ class PortalSession {
   std::optional<FederatedSource> source_;  // built after pinned_map_
 };
 
+class PortalTier;
+
+// RAII handle to a tier-owned session: Close() (or destruction) releases
+// the session's cache reservation and admits queued requests, exactly once
+// — the double-Close footgun the raw-pointer surface had is structurally
+// gone. Move-only; the tier still owns the PortalSession storage.
+class PortalHandle {
+ public:
+  PortalHandle() = default;
+  PortalHandle(PortalTier* tier, uint64_t id) : tier_(tier), id_(id) {}
+  ~PortalHandle() { Close(); }
+
+  PortalHandle(PortalHandle&& other) noexcept { *this = std::move(other); }
+  PortalHandle& operator=(PortalHandle&& other) noexcept {
+    if (this != &other) {
+      Close();
+      tier_ = other.tier_;
+      id_ = other.id_;
+      other.tier_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  PortalHandle(const PortalHandle&) = delete;
+  PortalHandle& operator=(const PortalHandle&) = delete;
+
+  // Close the session now (idempotent; the destructor calls this).
+  void Close();
+
+  // The underlying session; null after Close (or on a default handle).
+  PortalSession* get() const;
+  PortalSession* operator->() const { return get(); }
+  PortalSession& operator*() const { return *get(); }
+  explicit operator bool() const { return get() != nullptr; }
+
+  uint64_t id() const { return id_; }
+
+ private:
+  PortalTier* tier_ = nullptr;
+  uint64_t id_ = 0;
+};
+
 struct PortalTierOptions {
   size_t total_cache_bytes = 8u << 20;  // shared across all sessions
   size_t max_queued = 8;                // admission queue depth (0: reject)
@@ -134,9 +183,11 @@ class PortalTier {
   // NoSpace (queueing cannot help — the tenant itself holds the bytes).
   // Over tier budget: Unavailable and the request parks in the FIFO queue
   // (admitted automatically by Close), or NoSpace when the queue is full.
-  // The returned session is owned by the tier.
-  Result<PortalSession*> Open(PortalSessionOptions options =
-                                  PortalSessionOptions());
+  // The session storage stays owned by the tier; the returned handle closes
+  // it on destruction (sessions admitted later *from the queue* have no
+  // handle holder yet — they are reachable through session()/sessions()).
+  Result<PortalHandle> Open(PortalSessionOptions options =
+                                PortalSessionOptions());
 
   // Close (and destroy) a session, release its reservation, and admit
   // queued requests that now fit.

@@ -13,10 +13,14 @@ using Env = std::map<std::string, Node>;
 
 class Evaluator {
  public:
-  Evaluator(const GraphSource* source, const EvalLimits& limits)
-      : source_(source), limits_(limits) {}
+  Evaluator(const GraphSource* source, const QueryOptions& options)
+      : source_(source), options_(options), limits_(options.limits) {}
 
-  Result<QueryResult> EvalQuery(const Query& query, const Env& outer);
+  // `top_level` marks the query whose rows land in the caller-visible
+  // result (the outermost query and its UNION branches): root attribution
+  // applies only there, never inside subqueries.
+  Result<QueryResult> EvalQuery(const Query& query, const Env& outer,
+                                bool top_level = false);
 
  private:
   // Expand one link step (with closure) from a node set.
@@ -32,6 +36,7 @@ class Evaluator {
   static bool Compare(const Value& a, const Value& b, BinOp op);
 
   const GraphSource* source_;
+  const QueryOptions& options_;
   const EvalLimits& limits_;
 };
 
@@ -287,7 +292,8 @@ Result<ValueSet> Evaluator::EvalExpr(const Expr& expr, const Env& env) {
   return InvalidArgument("unknown expression kind");
 }
 
-Result<QueryResult> Evaluator::EvalQuery(const Query& query, const Env& outer) {
+Result<QueryResult> Evaluator::EvalQuery(const Query& query, const Env& outer,
+                                         bool top_level) {
   // Build binding tuples from the FROM list.
   std::vector<Env> envs{outer};
   for (const FromItem& item : query.froms) {
@@ -322,6 +328,16 @@ Result<QueryResult> Evaluator::EvalQuery(const Query& query, const Env& outer) {
     }
   }
 
+  // Root attribution (QueryOptions::attribute_roots, top level only): each
+  // emitted row remembers the first-FROM binding it came from, and the
+  // dedup key is (root, row) instead of (row) — the same textual row
+  // contributed by two roots survives once per root, so an incremental
+  // evaluator can drop one root's rows without losing the other's. Callers
+  // comparing against an unattributed run must compare rows as sets.
+  bool attribute = top_level && options_.attribute_roots;
+  std::string root_var =
+      query.froms.empty() ? std::string() : query.froms.front().variable;
+
   std::set<std::vector<std::string>> seen_rows;
   for (const Env& env : envs) {
     if (query.where != nullptr) {
@@ -329,6 +345,12 @@ Result<QueryResult> Evaluator::EvalQuery(const Query& query, const Env& outer) {
       if (!keep) {
         continue;
       }
+    }
+    Node root{};
+    std::string root_token;
+    if (attribute && !root_var.empty()) {
+      root = env.at(root_var);
+      root_token = root.ToString();
     }
     // Evaluate select items; emit the cross product of their value sets
     // (each set is usually a singleton).
@@ -345,12 +367,18 @@ Result<QueryResult> Evaluator::EvalQuery(const Query& query, const Env& outer) {
       std::vector<Value> row;
       std::vector<std::string> row_key;
       row.reserve(cells.size());
+      if (attribute) {
+        row_key.push_back(root_token);
+      }
       for (size_t i = 0; i < cells.size(); ++i) {
         row.push_back(cells[i][index[i]]);
         row_key.push_back(row.back().ToString());
       }
       if (seen_rows.insert(row_key).second) {
         result.rows.push_back(std::move(row));
+        if (attribute) {
+          result.roots.push_back(root);
+        }
       }
       // Advance the odometer.
       size_t i = 0;
@@ -368,15 +396,22 @@ Result<QueryResult> Evaluator::EvalQuery(const Query& query, const Env& outer) {
 
   if (query.union_with != nullptr) {
     PASS_ASSIGN_OR_RETURN(QueryResult other,
-                          EvalQuery(*query.union_with, outer));
-    for (auto& row : other.rows) {
+                          EvalQuery(*query.union_with, outer, top_level));
+    for (size_t r = 0; r < other.rows.size(); ++r) {
+      auto& row = other.rows[r];
       std::vector<std::string> row_key;
-      row_key.reserve(row.size());
+      row_key.reserve(row.size() + 1);
+      if (attribute) {
+        row_key.push_back(other.roots[r].ToString());
+      }
       for (const Value& value : row) {
         row_key.push_back(value.ToString());
       }
       if (seen_rows.insert(row_key).second) {
         result.rows.push_back(std::move(row));
+        if (attribute) {
+          result.roots.push_back(other.roots[r]);
+        }
       }
     }
   }
@@ -432,14 +467,16 @@ ValueSet QueryResult::Flatten() const {
   return out;
 }
 
-Result<QueryResult> Engine::Run(std::string_view text) const {
+Result<QueryResult> Engine::Run(std::string_view text,
+                                const QueryOptions& options) const {
   PASS_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(text));
-  return Evaluate(*query);
+  return Evaluate(*query, options);
 }
 
-Result<QueryResult> Engine::Evaluate(const Query& query) const {
-  Evaluator evaluator(source_, limits_);
-  return evaluator.EvalQuery(query, {});
+Result<QueryResult> Engine::Evaluate(const Query& query,
+                                     const QueryOptions& options) const {
+  Evaluator evaluator(source_, options);
+  return evaluator.EvalQuery(query, {}, /*top_level=*/true);
 }
 
 }  // namespace pass::pql

@@ -21,42 +21,37 @@ class GraphSource {
   // TYPE attribute, lowercased).
   virtual std::vector<Node> RootSet(const std::string& name) const = 0;
 
-  // Attribute values of the *object* (all versions of the pnode). "name",
-  // "type", "pid", plus virtual attributes "pnode" and "version".
-  virtual ValueSet Attribute(const Node& node,
-                             const std::string& attr) const = 0;
+  // ---- Batched frontier core -----------------------------------------------
+  // The batched calls are the one surface every backend implements: the
+  // evaluator traverses level-synchronously and hands whole frontiers here,
+  // so a source with per-call overhead (cluster::FederatedSource groups a
+  // frontier by owning shard and ships one RPC per shard per hop) amortizes
+  // it without the evaluator knowing. Results align positionally with
+  // `nodes`.
 
-  // Follow a link from `node`. "input" = ancestors; inverse = descendants.
-  virtual std::vector<Node> Follow(const Node& node, const std::string& link,
-                                   bool inverse) const = 0;
-
-  // ---- Batched frontier ops ------------------------------------------------
-  // The evaluator drives link traversal and attribute lookup through these
-  // one frontier at a time; results align positionally with `nodes`. The
-  // defaults delegate to the single-node calls, so plain sources need not
-  // care. Sources with per-call overhead override them to amortize it:
-  // cluster::FederatedSource groups a frontier by owning shard and ships one
-  // RPC per shard per hop instead of one per node.
-
+  // Follow a link from each node. "input" = ancestors; inverse = descendants.
   virtual std::vector<std::vector<Node>> FollowMany(
       const std::vector<Node>& nodes, const std::string& link,
-      bool inverse) const {
-    std::vector<std::vector<Node>> out;
-    out.reserve(nodes.size());
-    for (const Node& node : nodes) {
-      out.push_back(Follow(node, link, inverse));
-    }
-    return out;
+      bool inverse) const = 0;
+
+  // Attribute values of each *object* (all versions of the pnode). "name",
+  // "type", "pid", plus virtual attributes "pnode" and "version".
+  virtual std::vector<ValueSet> AttributeMany(const std::vector<Node>& nodes,
+                                              const std::string& attr)
+      const = 0;
+
+  // ---- Single-node convenience wrappers ------------------------------------
+  // Defaulted onto the batched core (a frontier of one), so backends never
+  // duplicate their lookup logic per arity. Virtual only for sources that
+  // meter the two shapes differently (tests, per-node RPC baselines).
+
+  virtual std::vector<Node> Follow(const Node& node, const std::string& link,
+                                   bool inverse) const {
+    return FollowMany({node}, link, inverse).front();
   }
 
-  virtual std::vector<ValueSet> AttributeMany(const std::vector<Node>& nodes,
-                                              const std::string& attr) const {
-    std::vector<ValueSet> out;
-    out.reserve(nodes.size());
-    for (const Node& node : nodes) {
-      out.push_back(Attribute(node, attr));
-    }
-    return out;
+  virtual ValueSet Attribute(const Node& node, const std::string& attr) const {
+    return AttributeMany({node}, attr).front();
   }
 
   // True if `name` is a link name rather than an attribute.

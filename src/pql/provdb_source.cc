@@ -76,36 +76,47 @@ std::vector<Node> ProvDbSource::RootSet(const std::string& name) const {
   return out;
 }
 
-ValueSet ProvDbSource::Attribute(const Node& node,
-                                 const std::string& attr) const {
-  ValueSet out;
+std::vector<ValueSet> ProvDbSource::AttributeMany(
+    const std::vector<Node>& nodes, const std::string& attr) const {
+  std::vector<ValueSet> out(nodes.size());
   std::string want = Lower(attr);
-  if (want == "pnode") {
-    out.push_back(Value(static_cast<int64_t>(node.pnode)));
-    return out;
-  }
-  if (want == "version") {
-    out.push_back(Value(static_cast<int64_t>(node.version)));
-    return out;
+  std::vector<size_t> lookups;  // indexes needing a record scan
+  std::vector<core::PnodeId> pnodes;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (want == "pnode") {
+      out[i].push_back(Value(static_cast<int64_t>(nodes[i].pnode)));
+      continue;
+    }
+    if (want == "version") {
+      out[i].push_back(Value(static_cast<int64_t>(nodes[i].version)));
+      continue;
+    }
+    lookups.push_back(i);
+    pnodes.push_back(nodes[i].pnode);
   }
   // Object-level attributes: union across versions (NAME/TYPE are recorded
-  // once per object, ancestry is per version).
-  for (const core::Record& record : db_->RecordsOfAllVersions(node.pnode)) {
-    if (Lower(AttrQueryName(record)) == want) {
-      out.push_back(Value::FromRecordValue(record.value));
+  // once per object, ancestry is per version), fetched through the bulk
+  // lookup the federated shard handler also uses.
+  auto records = db_->RecordsOfAllVersionsMany(pnodes);
+  for (size_t j = 0; j < lookups.size(); ++j) {
+    ValueSet& values = out[lookups[j]];
+    for (const core::Record& record : records[j]) {
+      if (Lower(AttrQueryName(record)) == want) {
+        values.push_back(Value::FromRecordValue(record.value));
+      }
     }
+    Normalize(&values);
   }
-  Normalize(&out);
   return out;
 }
 
-std::vector<Node> ProvDbSource::Follow(const Node& node,
-                                       const std::string& link,
-                                       bool inverse) const {
+std::vector<std::vector<Node>> ProvDbSource::FollowMany(
+    const std::vector<Node>& nodes, const std::string& link,
+    bool inverse) const {
   if (link != "input") {
-    return {};
+    return std::vector<std::vector<Node>>(nodes.size());
   }
-  return inverse ? db_->Outputs(node) : db_->Inputs(node);
+  return inverse ? db_->OutputsMany(nodes) : db_->InputsMany(nodes);
 }
 
 bool ProvDbSource::IsLink(const std::string& name) const {

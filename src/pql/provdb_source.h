@@ -26,9 +26,11 @@ class ProvDbSource : public GraphSource {
   explicit ProvDbSource(const waldo::ProvDb* db) : db_(db) {}
 
   std::vector<Node> RootSet(const std::string& name) const override;
-  ValueSet Attribute(const Node& node, const std::string& attr) const override;
-  std::vector<Node> Follow(const Node& node, const std::string& link,
-                           bool inverse) const override;
+  std::vector<std::vector<Node>> FollowMany(const std::vector<Node>& nodes,
+                                            const std::string& link,
+                                            bool inverse) const override;
+  std::vector<ValueSet> AttributeMany(const std::vector<Node>& nodes,
+                                      const std::string& attr) const override;
   bool IsLink(const std::string& name) const override;
   std::string NodeLabel(const Node& node) const override;
 

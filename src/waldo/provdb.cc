@@ -173,6 +173,26 @@ std::vector<core::PnodeId> ProvDb::AllPnodes() const {
   return out;
 }
 
+std::vector<core::PnodeId> ProvDb::PnodesInRange(core::PnodeId begin,
+                                                 core::PnodeId end) const {
+  std::vector<core::PnodeId> out;
+  for (auto it = versions_.lower_bound(begin);
+       it != versions_.end() && it->first < end; ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::string ProvDb::TypeOf(core::PnodeId pnode) const {
+  // by_type_ holds a handful of types; membership per type is O(log n).
+  for (const auto& [type, members] : by_type_) {
+    if (members.count(pnode) != 0) {
+      return type;
+    }
+  }
+  return std::string();
+}
+
 namespace {
 
 // Membership in a map-of-sets shadow: O(log n) both levels.

@@ -132,6 +132,22 @@ class ProvDb {
     return it == range_mutations_.end() ? 0 : it->second;
   }
 
+  // The whole bucket-counter map. Frontier publication diffs a snapshot of
+  // this against the live map: a bucket whose counter moved holds at least
+  // one pnode whose rows changed, so the pnodes of dirty buckets are the
+  // shard's "new/changed pnode" frontier since the snapshot.
+  const std::map<uint64_t, uint64_t>& range_mutation_buckets() const {
+    return range_mutations_;
+  }
+
+  // Pnodes with at least one known version in [begin, end), ascending (same
+  // membership rule as AllPnodes, restricted to the range).
+  std::vector<core::PnodeId> PnodesInRange(core::PnodeId begin,
+                                           core::PnodeId end) const;
+
+  // Latest TYPE attribute value of `pnode` ("" when untyped).
+  std::string TypeOf(core::PnodeId pnode) const;
+
   // ---- Content fingerprints (audit plane) ----------------------------------
   // Order-independent content hash of [begin, end): the XOR fold of the MD5
   // of every row EntriesInRange would export. Two databases holding the

@@ -85,7 +85,7 @@ TEST(PortalSessionTest, PinCapturesEpochAndJournalHorizons) {
   PortalTier tier(&cluster);
   auto opened = tier.Open();
   ASSERT_TRUE(opened.ok());
-  PortalSession* session = *opened;
+  PortalSession* session = opened->get();
   EXPECT_EQ(session->pinned_epoch(), cluster.shard_map().epoch());
   ASSERT_EQ(session->journal_horizons().size(),
             static_cast<size_t>(cluster.shard_count()));
@@ -109,7 +109,7 @@ TEST(PortalSessionTest, PinnedSessionAnswersConsistentlyAcrossMigration) {
   PortalTier tier(&cluster);
   auto opened = tier.Open();
   ASSERT_TRUE(opened.ok());
-  PortalSession* session = *opened;
+  PortalSession* session = opened->get();
   auto before = SessionAnswer(session, kTailClosure);
   EXPECT_EQ(before, MergedAnswer(&cluster, kTailClosure));
 
@@ -148,7 +148,7 @@ TEST(PortalSessionTest, ClosingSessionRetiresDeferredDeletes) {
   PortalTier tier(&cluster);
   auto opened = tier.Open();
   ASSERT_TRUE(opened.ok());
-  uint64_t id = (*opened)->id();
+  uint64_t id = opened->id();
   core::PnodeRange range{refs[5].pnode, refs[5].pnode + 1};
   ASSERT_TRUE(cluster.MigrateRange(range, 3).ok());
   EXPECT_EQ(cluster.deferred_retirements(), 1u);
@@ -176,7 +176,7 @@ TEST(PortalSessionTest, MigratingBackCancelsOverlappingDeferredDelete) {
   PortalTier tier(&cluster);
   auto opened = tier.Open();
   ASSERT_TRUE(opened.ok());
-  PortalSession* session = *opened;
+  PortalSession* session = opened->get();
   auto before = SessionAnswer(session, kTailClosure);
   ASSERT_EQ(before, MergedAnswer(&cluster, kTailClosure));
 
@@ -213,7 +213,7 @@ TEST(PortalSessionTest, RecoveryAfterMigrateBackKeepsReShippedRows) {
   PortalTier tier(&cluster);
   auto opened = tier.Open();
   ASSERT_TRUE(opened.ok());
-  uint64_t id = (*opened)->id();
+  uint64_t id = opened->id();
   core::PnodeRange range{refs[5].pnode, refs[5].pnode + 1};
   int home = cluster.OwnerOf(refs[5].pnode);
   ASSERT_TRUE(cluster.MigrateRange(range, 3).ok());
@@ -245,7 +245,7 @@ TEST(PortalSessionTest, RePinKeepsUnaffectedCacheEntries) {
   PortalTier tier(&cluster);
   auto opened = tier.Open();
   ASSERT_TRUE(opened.ok());
-  PortalSession* session = *opened;
+  PortalSession* session = opened->get();
   SessionAnswer(session, kTailClosure);  // warm
   size_t warm_bytes = session->source().cache_bytes_used();
   ASSERT_GT(warm_bytes, 0u);
@@ -272,7 +272,8 @@ TEST(PortalTierTest, TenantQuotaIsolatesBudgets) {
   PortalSessionOptions alice;
   alice.tenant = "alice";
   alice.cache_bytes = 1u << 20;
-  ASSERT_TRUE(tier.Open(alice).ok());
+  auto first_alice = tier.Open(alice);
+  ASSERT_TRUE(first_alice.ok());
   // Alice is at quota: her next open is rejected outright — not queued —
   // while Bob still fits in the tier budget.
   auto again = tier.Open(alice);
@@ -283,7 +284,8 @@ TEST(PortalTierTest, TenantQuotaIsolatesBudgets) {
   PortalSessionOptions bob;
   bob.tenant = "bob";
   bob.cache_bytes = 2u << 20;
-  ASSERT_TRUE(tier.Open(bob).ok());
+  auto first_bob = tier.Open(bob);
+  ASSERT_TRUE(first_bob.ok());
   EXPECT_EQ(tier.tenant_bytes_reserved("alice"), 1u << 20);
   EXPECT_EQ(tier.tenant_bytes_reserved("bob"), 2u << 20);
   EXPECT_EQ(tier.bytes_reserved(), 3u << 20);
@@ -321,7 +323,7 @@ TEST(PortalTierTest, BudgetExhaustionQueuesThenAdmitsOnClose) {
   EXPECT_EQ(fourth.status().code(), Code::kNoSpace);
 
   // A close frees bytes and admits the queued request FIFO.
-  ASSERT_TRUE(tier.Close((*first)->id()).ok());
+  ASSERT_TRUE(tier.Close(first->id()).ok());
   EXPECT_EQ(tier.queued(), 0u);
   EXPECT_EQ(tier.open_sessions(), 2u);
   EXPECT_EQ(tier.bytes_reserved(), 2u << 20);
@@ -344,8 +346,8 @@ TEST(PortalTierTest, ZeroByteSessionsCloseCleanly) {
   auto b = tier.Open(zero);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  ASSERT_TRUE(tier.Close((*a)->id()).ok());
-  ASSERT_TRUE(tier.Close((*b)->id()).ok());
+  a->Close();
+  b->Close();
   EXPECT_EQ(tier.open_sessions(), 0u);
   EXPECT_EQ(tier.bytes_reserved(), 0u);
   EXPECT_EQ(tier.tenant_bytes_reserved("default"), 0u);
@@ -358,8 +360,10 @@ TEST(PortalTierTest, MetricsSurfaceSessionsAndAdmission) {
   PortalTier tier(&cluster, options);
   PortalSessionOptions one_mb;
   one_mb.cache_bytes = 1u << 20;
-  ASSERT_TRUE(tier.Open(one_mb).ok());
-  ASSERT_TRUE(tier.Open(one_mb).ok());
+  auto first = tier.Open(one_mb);
+  auto second = tier.Open(one_mb);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
 
   tier.PublishMetrics();
   obs::MetricRegistry& m = cluster.env().obs().metrics();

@@ -391,7 +391,10 @@ TEST_F(PqlEvalTest, EvaluatorTraversesWholeFrontiersThroughBatchedOps) {
   EXPECT_EQ(NamesIn(*batched), NamesIn(*plain));
 }
 
-TEST_F(PqlEvalTest, DefaultBatchedOpsMatchSingleNodeOps) {
+// ProvDbSource implements only the batched core; its single-node
+// Follow/Attribute are GraphSource's defaulted frontier-of-one wrappers and
+// must agree with the batched answers element-wise.
+TEST_F(PqlEvalTest, DefaultSingleNodeOpsMatchBatchedCore) {
   std::vector<Node> nodes = source_.RootSet("file");
   ASSERT_FALSE(nodes.empty());
   auto follows = source_.FollowMany(nodes, "input", /*inverse=*/false);
